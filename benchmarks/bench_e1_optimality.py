@@ -1,0 +1,21 @@
+"""E1 — Optimality of the branch-and-bound ordering.
+
+Regenerates the optimality cross-check table (branch-and-bound vs exhaustive
+enumeration vs subset DP) and times one full sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_e1_optimality
+
+
+def test_e1_optimality(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: run_e1_optimality(sizes=(4, 5, 6, 7, 8), instances_per_size=5),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(result)
+    for row in result.row_dicts():
+        assert row["bb = exhaustive"] == row["instances"]
+        assert row["max relative gap"] <= 1e-9

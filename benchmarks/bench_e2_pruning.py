@@ -1,0 +1,22 @@
+"""E2 — Pruning effectiveness: explored prefixes vs the n! search space."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import run_e2_pruning
+
+
+def test_e2_pruning(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: run_e2_pruning(sizes=(5, 6, 7, 8, 9, 10), instances_per_size=5),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(result)
+    rows = result.row_dicts()
+    # The explored fraction of the factorial search space falls with n.
+    fractions = [row["explored fraction"] for row in rows]
+    assert fractions[-1] < fractions[0]
+    for row in rows:
+        assert row["bb nodes"] < math.factorial(row["n"])

@@ -1,0 +1,28 @@
+"""E3 — Optimization wall-clock time as the number of services grows.
+
+Also benchmarks a single branch-and-bound run on a 10-service instance, which
+is the number pytest-benchmark reports statistics for.
+"""
+
+from __future__ import annotations
+
+from repro.core import branch_and_bound
+from repro.experiments import run_e3_scaling
+from repro.workloads import default_spec, generate_problem
+
+
+def test_e3_scaling_sweep(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: run_e3_scaling(sizes=(5, 6, 7, 8, 9), instances_per_size=3),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(result)
+    last_row = result.row_dicts()[-2]  # n=8, the largest size exhaustive still runs at
+    assert last_row["bb ms"] < last_row["exhaustive ms"]
+
+
+def test_e3_single_optimization_latency(benchmark):
+    problem = generate_problem(default_spec(10), seed=33)
+    result = benchmark(lambda: branch_and_bound(problem))
+    assert result.optimal

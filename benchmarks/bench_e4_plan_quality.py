@@ -1,0 +1,24 @@
+"""E4 — Plan quality of baselines vs the optimum under growing heterogeneity."""
+
+from __future__ import annotations
+
+from repro.experiments import run_e4_plan_quality
+
+
+def test_e4_plan_quality(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: run_e4_plan_quality(
+            service_count=8, levels=(0.0, 0.25, 0.5, 0.75, 1.0), instances_per_level=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(result)
+    rows = result.row_dicts()
+    # Ratios never drop below 1 (the branch-and-bound plan is optimal) and the
+    # communication-oblivious centralized ordering degrades with heterogeneity.
+    for row in rows:
+        for key, value in row.items():
+            if key.endswith("ratio"):
+                assert value >= 1.0 - 1e-9
+    assert rows[-1]["srivastava_centralized ratio"] >= rows[0]["srivastava_centralized ratio"] - 1e-6

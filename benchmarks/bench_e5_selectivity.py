@@ -1,0 +1,17 @@
+"""E5 — Effect of the selectivity regime on pruning and plan quality."""
+
+from __future__ import annotations
+
+from repro.experiments import run_e5_selectivity
+
+
+def test_e5_selectivity(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: run_e5_selectivity(service_count=7, instances_per_regime=5),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(result)
+    for row in result.row_dicts():
+        assert row["optimal (vs dp)"] is True
+        assert row["greedy/optimal ratio"] >= 1.0 - 1e-9

@@ -1,0 +1,16 @@
+"""E6 — The bottleneck-TSP special case (hardness-reduction cross-check)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_e6_btsp
+
+
+def test_e6_btsp(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: run_e6_btsp(sizes=(5, 6, 7, 8), instances_per_size=4),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(result)
+    for row in result.row_dicts():
+        assert row["optima agree"] == row["instances"]

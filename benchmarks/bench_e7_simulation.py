@@ -1,0 +1,16 @@
+"""E7 — Validating the bottleneck cost model against simulated execution."""
+
+from __future__ import annotations
+
+from repro.experiments import run_e7_simulation
+
+
+def test_e7_simulation(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: run_e7_simulation(instances=3, service_count=6, tuple_count=1500),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(result)
+    for row in result.row_dicts():
+        assert row["relative error"] < 0.10

@@ -1,0 +1,17 @@
+"""E8 — Ablation of the pruning rules (Lemma 2, Lemma 3, expansion policy)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_e8_ablation
+
+
+def test_e8_ablation(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: run_e8_ablation(service_count=9, instances=4),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(result)
+    rows = {row["configuration"]: row for row in result.row_dicts()}
+    assert all(row["all optimal"] is True for row in rows.values())
+    assert rows["full algorithm"]["mean nodes"] <= rows["bound only, index order"]["mean nodes"]

@@ -1,0 +1,32 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_e*.py`` regenerates one experiment of the reconstructed
+evaluation (see ``DESIGN.md`` section 4).  Besides the timing that
+pytest-benchmark records, every benchmark writes the experiment's table to
+``benchmarks/output/<ID>.md`` so the rows the paper's evaluation would report
+are available as artefacts after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+
+OUTPUT_DIRECTORY = Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def record_experiment():
+    """Write an :class:`ExperimentResult` to ``benchmarks/output`` and echo it."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        OUTPUT_DIRECTORY.mkdir(parents=True, exist_ok=True)
+        path = OUTPUT_DIRECTORY / f"{result.experiment_id}.md"
+        path.write_text(result.to_markdown() + "\n", encoding="utf-8")
+        print(f"\n{result.to_markdown()}\n[written to {path}]")
+        return result
+
+    return _record

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: screening potential customers.
+
+A person identifier flows through four Web Services:
+
+* ``card_lookup``      — returns the person's credit-card numbers (σ > 1),
+* ``payment_history``  — keeps customers with a good payment history,
+* ``fraud_score``      — keeps low-risk customers,
+* ``geo_filter``       — keeps customers in the serviced region.
+
+All orderings produce the same answer, but — because the services live in two
+different data centres with expensive cross-DC links — their response times
+differ substantially.  The example optimizes the ordering, explains *why* the
+chosen order wins, and then validates the decision by simulating the pipelined
+decentralized execution of the best and the worst plan.
+
+Run it with::
+
+    python examples/credit_card_screening.py
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.core import branch_and_bound
+from repro.simulation import SimulationConfig, simulate_plan
+from repro.workloads import credit_card_screening
+
+
+def main() -> None:
+    problem = credit_card_screening()
+    print(problem.describe())
+    print()
+
+    result = branch_and_bound(problem)
+    print("Optimal ordering:")
+    print(result.plan.describe())
+    print()
+
+    worst_order = max(permutations(range(problem.size)), key=problem.cost)
+    worst_cost = problem.cost(worst_order)
+    print(
+        f"Worst ordering would cost {worst_cost:.2f} per tuple "
+        f"({worst_cost / result.cost:.2f}x slower than the optimum)."
+    )
+    print()
+
+    print("Validating both plans in the discrete-event simulator (5000 input tuples):")
+    config = SimulationConfig(tuple_count=5000)
+    for label, order in (("optimal", result.order), ("worst", worst_order)):
+        report = simulate_plan(problem, order, config)
+        print(
+            f"  {label:<8} predicted={report.predicted_cost:7.3f} ms/tuple   "
+            f"simulated={report.normalized_makespan:7.3f} ms/tuple   "
+            f"(error {report.model_relative_error:.2%}, "
+            f"bottleneck stage {report.observed_bottleneck_position})"
+        )
+    print()
+    print(
+        "The filters that discard most tuples early and avoid the expensive cross-DC hop\n"
+        "are pulled to the front; the proliferative card lookup is pushed as late as the\n"
+        "bottleneck allows."
+    )
+
+
+if __name__ == "__main__":
+    main()

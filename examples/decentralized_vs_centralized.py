@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""When does decentralized-aware ordering actually matter?
+
+The paper's point is that with *heterogeneous* inter-service transfer costs the
+classical centralized (communication-oblivious) ordering can be far from
+optimal.  This example sweeps the heterogeneity of a clustered (LAN/WAN)
+network from 0 (uniform costs, the Srivastava et al. setting) to 1 (fully
+clustered) while keeping the mean transfer cost fixed, and reports how far the
+centralized ordering drifts from the optimum — the shape of experiment E4.
+
+Run it with::
+
+    python examples/decentralized_vs_centralized.py
+"""
+
+from __future__ import annotations
+
+from repro.core import branch_and_bound
+from repro.core.srivastava import SrivastavaOptimizer
+from repro.network import clustered_matrix, interpolate_to_uniform
+from repro.utils import Table
+from repro.workloads import default_spec, generate_problem
+
+
+def main() -> None:
+    base = generate_problem(default_spec(8), seed=2026)
+    clustered = clustered_matrix(8, cluster_count=2, seed=7, intra_cost=0.1, inter_cost=3.0)
+
+    table = Table(
+        ["heterogeneity", "optimal cost", "centralized cost", "penalty"],
+        title="centralized ordering vs the decentralized optimum",
+    )
+    for level in (0.0, 0.25, 0.5, 0.75, 1.0):
+        problem = base.with_transfer(interpolate_to_uniform(clustered, level))
+        optimal = branch_and_bound(problem)
+        centralized = SrivastavaOptimizer().optimize(problem)
+        table.add_row(
+            level,
+            round(optimal.cost, 4),
+            round(centralized.cost, 4),
+            f"{centralized.cost / optimal.cost:.2f}x",
+        )
+
+    print(table.to_markdown())
+    print()
+    print(
+        "With uniform communication the two plans are close; as the network becomes\n"
+        "clustered the communication-oblivious plan repeatedly crosses the WAN boundary\n"
+        "and its bottleneck grows, while the decentralized-aware optimum keeps the\n"
+        "expensive hops off the critical path."
+    )
+
+
+if __name__ == "__main__":
+    main()

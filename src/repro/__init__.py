@@ -1,0 +1,78 @@
+"""repro — optimal service ordering for decentralized pipelined queries.
+
+A production-quality reproduction of
+
+    E. Tsamoura, A. Gounaris, Y. Manolopoulos,
+    "Brief Announcement: On the Quest of Optimal Service Ordering in
+    Decentralized Queries", PODC 2010.
+
+The package is organised as follows:
+
+* :mod:`repro.core` — the bottleneck cost model, the branch-and-bound
+  optimizer built on the paper's three lemmas, and every baseline algorithm.
+* :mod:`repro.network` — synthetic network topologies and communication-cost
+  matrices (the decentralized substrate).
+* :mod:`repro.simulation` — a discrete-event simulator of pipelined
+  decentralized (choreographed) query execution.
+* :mod:`repro.workloads` — random instance generators and named scenarios.
+* :mod:`repro.workflow` — a declarative query layer that lowers SQL-like
+  queries over services to ordering problems and choreography instructions.
+* :mod:`repro.estimation` — estimating service costs, selectivities and
+  transfer costs from observations.
+* :mod:`repro.experiments` — the reconstructed evaluation (experiments E1–E8).
+
+Quickstart
+----------
+>>> from repro import OrderingProblem, CommunicationCostMatrix, optimize
+>>> problem = OrderingProblem.from_parameters(
+...     costs=[2.0, 1.0, 4.0],
+...     selectivities=[0.5, 0.9, 0.3],
+...     transfer=CommunicationCostMatrix([[0, 1, 5], [2, 0, 1], [4, 2, 0]]),
+... )
+>>> result = optimize(problem, algorithm="branch_and_bound")
+>>> result.optimal
+True
+"""
+
+from repro.core import (
+    BranchAndBoundOptimizer,
+    BranchAndBoundOptions,
+    CommunicationCostMatrix,
+    GreedyOptimizer,
+    GreedyStrategy,
+    OptimizationResult,
+    OrderingProblem,
+    Plan,
+    PrecedenceGraph,
+    SearchStatistics,
+    Service,
+    ServiceRegistry,
+    available_algorithms,
+    branch_and_bound,
+    compare,
+    optimize,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchAndBoundOptimizer",
+    "BranchAndBoundOptions",
+    "CommunicationCostMatrix",
+    "GreedyOptimizer",
+    "GreedyStrategy",
+    "OptimizationResult",
+    "OrderingProblem",
+    "Plan",
+    "PrecedenceGraph",
+    "ReproError",
+    "SearchStatistics",
+    "Service",
+    "ServiceRegistry",
+    "available_algorithms",
+    "branch_and_bound",
+    "compare",
+    "optimize",
+    "__version__",
+]

@@ -1,0 +1,210 @@
+"""Command-line interface.
+
+The CLI exposes the workflows a user of the library runs most often without
+writing Python:
+
+* ``repro generate``   — draw a random problem instance and save it as JSON,
+* ``repro optimize``   — find the optimal (or a heuristic) ordering for a
+  problem file and print the plan,
+* ``repro simulate``   — execute a plan of a problem file in the
+  discrete-event simulator and compare with the model,
+* ``repro scenarios``  — list or optimize the named scenarios shipped with the
+  library,
+* ``repro experiment`` — run one of the reconstructed experiments E1–E8 and
+  print its table.
+
+Every subcommand supports ``--json`` for machine-readable output where that is
+meaningful.  The module is import-safe: ``main`` takes an ``argv`` list and
+returns an exit code, which is what the tests drive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.optimizer import available_algorithms, optimize
+from repro.exceptions import ReproError
+from repro.experiments import REGISTRY
+from repro.serialization import load_problem, result_to_dict, save_problem
+from repro.simulation import SimulationConfig, simulate_plan
+from repro.workloads import all_scenarios, default_spec, generate_problem
+from repro.workloads.generator import WorkloadSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for documentation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal service ordering for decentralized pipelined queries "
+        "(reproduction of Tsamoura et al., PODC 2010).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a random problem instance")
+    generate.add_argument("--services", type=int, default=8, help="number of services")
+    generate.add_argument("--seed", type=int, default=0, help="random seed")
+    generate.add_argument("--output", "-o", required=True, help="output JSON file")
+
+    optimize_cmd = subparsers.add_parser("optimize", help="optimize the service ordering of a problem file")
+    optimize_cmd.add_argument("problem", help="problem JSON file (see 'repro generate')")
+    optimize_cmd.add_argument(
+        "--algorithm",
+        default="branch_and_bound",
+        choices=available_algorithms(),
+        help="optimization algorithm",
+    )
+    optimize_cmd.add_argument("--json", action="store_true", help="print the result as JSON")
+
+    simulate = subparsers.add_parser("simulate", help="simulate a plan of a problem file")
+    simulate.add_argument("problem", help="problem JSON file")
+    simulate.add_argument(
+        "--order",
+        help="comma-separated service indices; defaults to the branch-and-bound optimum",
+    )
+    simulate.add_argument("--tuples", type=int, default=1000, help="number of source tuples")
+    simulate.add_argument("--block-size", type=int, default=1, help="tuples per shipped block")
+    simulate.add_argument("--json", action="store_true", help="print the report as JSON")
+
+    scenarios = subparsers.add_parser("scenarios", help="list or optimize the named scenarios")
+    scenarios.add_argument("name", nargs="?", help="scenario name (omit to list all)")
+
+    experiment = subparsers.add_parser("experiment", help="run one reconstructed experiment (E1..E8)")
+    experiment.add_argument("experiment_id", help="experiment id, e.g. E2")
+
+    report = subparsers.add_parser(
+        "report", help="run every experiment and render the full evaluation report"
+    )
+    report.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full benchmark-scale parameters instead of the quick smoke-test scale",
+    )
+    report.add_argument("--output", "-o", help="write the markdown report to this file")
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    spec: WorkloadSpec = default_spec(args.services)
+    problem = generate_problem(spec, seed=args.seed)
+    path = save_problem(problem, args.output)
+    print(f"wrote {problem.size}-service problem {problem.name!r} to {path}")
+    return 0
+
+
+def _command_optimize(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    result = optimize(problem, algorithm=args.algorithm)
+    if args.json:
+        print(json.dumps(result_to_dict(result), indent=2))
+    else:
+        print(problem.describe())
+        print()
+        print(result.plan.describe())
+        print()
+        print(result.describe())
+    return 0
+
+
+def _parse_order(text: str, size: int) -> list[int]:
+    try:
+        order = [int(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise ReproError(f"--order must be a comma-separated list of integers, got {text!r}") from None
+    if sorted(order) != list(range(size)):
+        raise ReproError(f"--order must be a permutation of 0..{size - 1}, got {order!r}")
+    return order
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    if args.order:
+        order = _parse_order(args.order, problem.size)
+    else:
+        order = list(optimize(problem, algorithm="branch_and_bound").order)
+    report = simulate_plan(
+        problem,
+        order,
+        SimulationConfig(tuple_count=args.tuples, block_size=args.block_size),
+    )
+    if args.json:
+        payload = {
+            "order": list(report.order),
+            "predicted_cost": report.predicted_cost,
+            "normalized_makespan": report.normalized_makespan,
+            "relative_error": report.model_relative_error,
+            "tuples_delivered": report.tuples_delivered,
+            "makespan": report.makespan,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.describe())
+        print()
+        print(report.to_table().to_markdown())
+    return 0
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    scenarios = all_scenarios()
+    if not args.name:
+        print("available scenarios:")
+        for name, problem in scenarios.items():
+            print(f"  {name} ({problem.size} services)")
+        return 0
+    if args.name not in scenarios:
+        raise ReproError(f"unknown scenario {args.name!r}; available: {sorted(scenarios)}")
+    problem = scenarios[args.name]
+    result = optimize(problem, algorithm="branch_and_bound")
+    print(problem.describe())
+    print()
+    print(result.plan.describe())
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    experiment_id = args.experiment_id.upper()
+    result = REGISTRY.run(experiment_id)
+    print(result.to_markdown())
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments import generate_report, write_report
+
+    if args.output:
+        path = write_report(REGISTRY, args.output, quick=not args.full)
+        print(f"wrote evaluation report to {path}")
+    else:
+        print(generate_report(REGISTRY, quick=not args.full))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "generate": _command_generate,
+        "optimize": _command_optimize,
+        "simulate": _command_simulate,
+        "scenarios": _command_scenarios,
+        "experiment": _command_experiment,
+        "report": _command_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

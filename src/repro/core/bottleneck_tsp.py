@@ -1,0 +1,230 @@
+"""The bottleneck-TSP special case used in the paper's hardness argument.
+
+The paper observes that when every selectivity is 1 and every processing cost
+is 0, minimising the bottleneck cost metric over linear orderings is exactly
+the **bottleneck travelling-salesman path problem** (minimise the largest edge
+of a Hamiltonian path), which is NP-hard.  This module provides
+
+* the reduction in both directions
+  (:func:`problem_from_distance_matrix`, :func:`distance_matrix_from_problem`),
+* an exact bottleneck Hamiltonian-path solver
+  (:class:`BottleneckPathSolver`) based on binary search over the distinct
+  edge weights plus a backtracking feasibility test, and
+* a convenience check (:func:`is_bottleneck_tsp_instance`) used by tests and
+  experiment E6 to cross-validate the branch-and-bound optimizer on the
+  special case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cost_model import CommunicationCostMatrix
+from repro.core.problem import OrderingProblem
+from repro.exceptions import OptimizationError, ProblemTooLargeError
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "BottleneckPathResult",
+    "BottleneckPathSolver",
+    "bottleneck_path",
+    "problem_from_distance_matrix",
+    "distance_matrix_from_problem",
+    "is_bottleneck_tsp_instance",
+]
+
+
+def problem_from_distance_matrix(
+    distances: CommunicationCostMatrix | Sequence[Sequence[float]],
+    names: Sequence[str] | None = None,
+) -> OrderingProblem:
+    """Encode a bottleneck-TSP-path instance as an ordering problem.
+
+    All selectivities are 1 and all processing costs 0, so the bottleneck cost
+    of a plan equals the largest edge weight along the corresponding path.
+    """
+    if not isinstance(distances, CommunicationCostMatrix):
+        distances = CommunicationCostMatrix(distances)
+    size = distances.size
+    return OrderingProblem.from_parameters(
+        costs=[0.0] * size,
+        selectivities=[1.0] * size,
+        transfer=distances,
+        names=names,
+        name="bottleneck-tsp",
+    )
+
+
+def distance_matrix_from_problem(problem: OrderingProblem) -> CommunicationCostMatrix:
+    """Extract the edge-weight matrix of a bottleneck-TSP-shaped problem."""
+    if not is_bottleneck_tsp_instance(problem):
+        raise OptimizationError(
+            "the problem is not a bottleneck-TSP instance "
+            "(it has non-zero costs or non-unit selectivities)"
+        )
+    return problem.transfer
+
+
+def is_bottleneck_tsp_instance(problem: OrderingProblem, tolerance: float = 1e-12) -> bool:
+    """Whether ``problem`` is the paper's bottleneck-TSP special case."""
+    return (
+        all(abs(cost) <= tolerance for cost in problem.costs)
+        and all(abs(sigma - 1.0) <= tolerance for sigma in problem.selectivities)
+        and problem.sink_transfer is None
+    )
+
+
+@dataclass(frozen=True)
+class BottleneckPathResult:
+    """Outcome of the bottleneck Hamiltonian-path search."""
+
+    path: tuple[int, ...]
+    """Visiting order of the nodes."""
+
+    bottleneck: float
+    """Largest edge weight along :attr:`path`."""
+
+    feasibility_checks: int
+    """Number of threshold-feasibility searches performed."""
+
+    nodes_expanded: int
+    """Backtracking nodes expanded across all feasibility checks."""
+
+    elapsed_seconds: float
+    """Wall-clock time of the search."""
+
+
+class BottleneckPathSolver:
+    """Exact bottleneck Hamiltonian-path solver (binary search + backtracking).
+
+    The solver binary-searches over the sorted distinct edge weights; for each
+    candidate threshold it checks whether a Hamiltonian path using only edges
+    not exceeding the threshold exists, via depth-first backtracking with a
+    connectivity-based pruning test.  Exponential in the worst case (the
+    problem is NP-hard) but fast on the small instances used for
+    cross-validation.
+    """
+
+    def __init__(self, max_size: int = 12) -> None:
+        if max_size < 2:
+            raise ValueError("max_size must be at least 2")
+        self.max_size = max_size
+
+    def solve(self, distances: CommunicationCostMatrix) -> BottleneckPathResult:
+        """Return a Hamiltonian path minimising the largest traversed edge."""
+        size = distances.size
+        if size > self.max_size:
+            raise ProblemTooLargeError(
+                f"bottleneck path search is limited to {self.max_size} nodes, got {size}"
+            )
+        stopwatch = Stopwatch().start()
+        if size == 1:
+            return BottleneckPathResult((0,), 0.0, 0, 0, stopwatch.stop())
+
+        weights = sorted(
+            {distances.cost(i, j) for i in range(size) for j in range(size) if i != j}
+        )
+        feasibility_checks = 0
+        nodes_expanded = 0
+        best_path: tuple[int, ...] | None = None
+
+        low, high = 0, len(weights) - 1
+        while low <= high:
+            middle = (low + high) // 2
+            threshold = weights[middle]
+            feasibility_checks += 1
+            path, expanded = self._hamiltonian_path(distances, threshold)
+            nodes_expanded += expanded
+            if path is not None:
+                best_path = path
+                high = middle - 1
+            else:
+                low = middle + 1
+
+        if best_path is None:
+            raise OptimizationError("no Hamiltonian path exists (unreachable for complete graphs)")
+        bottleneck = max(
+            distances.cost(best_path[i], best_path[i + 1]) for i in range(size - 1)
+        )
+        return BottleneckPathResult(
+            path=best_path,
+            bottleneck=bottleneck,
+            feasibility_checks=feasibility_checks,
+            nodes_expanded=nodes_expanded,
+            elapsed_seconds=stopwatch.stop(),
+        )
+
+    # -- feasibility test ------------------------------------------------------
+
+    def _hamiltonian_path(
+        self, distances: CommunicationCostMatrix, threshold: float
+    ) -> tuple[tuple[int, ...] | None, int]:
+        """Find a Hamiltonian path using only edges ``<= threshold`` (or ``None``)."""
+        size = distances.size
+        adjacency = [
+            [j for j in range(size) if j != i and distances.cost(i, j) <= threshold]
+            for i in range(size)
+        ]
+        expanded = 0
+
+        def backtrack(path: list[int], visited: set[int]) -> list[int] | None:
+            nonlocal expanded
+            expanded += 1
+            if len(path) == size:
+                return path
+            if not self._remaining_reachable(adjacency, path[-1], visited, size):
+                return None
+            last = path[-1]
+            for neighbour in adjacency[last]:
+                if neighbour in visited:
+                    continue
+                path.append(neighbour)
+                visited.add(neighbour)
+                found = backtrack(path, visited)
+                if found is not None:
+                    return found
+                visited.remove(neighbour)
+                path.pop()
+            return None
+
+        for start in range(size):
+            result = backtrack([start], {start})
+            if result is not None:
+                return tuple(result), expanded
+        return None, expanded
+
+    @staticmethod
+    def _remaining_reachable(
+        adjacency: list[list[int]], last: int, visited: set[int], size: int
+    ) -> bool:
+        """Pruning test: every unvisited node must be reachable from ``last``.
+
+        Reachability is computed on the threshold graph restricted to unvisited
+        nodes plus ``last``; a disconnected remainder can never be covered by a
+        single continuing path.
+        """
+        remaining = size - len(visited)
+        if remaining == 0:
+            return True
+        stack = [last]
+        seen = {last}
+        reached = 0
+        while stack:
+            node = stack.pop()
+            for neighbour in adjacency[node]:
+                if neighbour in visited or neighbour in seen:
+                    continue
+                seen.add(neighbour)
+                reached += 1
+                stack.append(neighbour)
+        return reached == remaining
+
+
+def bottleneck_path(
+    distances: CommunicationCostMatrix | Sequence[Sequence[float]], max_size: int = 12
+) -> BottleneckPathResult:
+    """Convenience wrapper around :class:`BottleneckPathSolver`."""
+    if not isinstance(distances, CommunicationCostMatrix):
+        distances = CommunicationCostMatrix(distances)
+    return BottleneckPathSolver(max_size=max_size).solve(distances)

@@ -1,0 +1,126 @@
+"""The two guide measures of the branch-and-bound algorithm.
+
+The algorithm of the paper steers its search with two quantities per partial
+plan ``C``:
+
+* ``ε`` — the bottleneck cost of ``C`` itself (maintained incrementally by
+  :class:`repro.core.plan.PartialPlan`); Lemma 1 states it never decreases when
+  the prefix is extended, so it is a valid lower bound for every completion.
+* ``ε̄`` — the **maximum possible cost** any service not yet included in ``C``
+  may still incur, whatever the remaining ordering.  Lemma 2 states that if
+  ``ε >= ε̄`` the bottleneck of every completion of ``C`` equals ``ε``.
+
+For purely selective services (``σ <= 1``) the number of tuples reaching a
+remaining service is at most the output rate of ``C``.  For proliferative
+services (``σ > 1``) the bound must account for the possible inflation caused
+by remaining proliferative services placed in between — this is the "slight
+modification" the paper mentions; it is implemented here as the product of the
+remaining ``σ > 1`` values, excluding the bounded service itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import PartialPlan
+from repro.core.problem import OrderingProblem
+
+__all__ = ["ResidualBound", "epsilon_bar", "max_residual_cost", "initial_upper_bound"]
+
+
+@dataclass(frozen=True)
+class ResidualBound:
+    """The value of ``ε̄`` for a partial plan, with attribution for diagnostics.
+
+    Attributes
+    ----------
+    value:
+        The bound ``ε̄`` itself.
+    critical_service:
+        Index of the service whose worst-case term attains the bound
+        (``None`` when the bound is attained by completing the term of the
+        prefix's last service).
+    last_service_bound:
+        Worst-case *settled* term of the prefix's current last service, i.e.
+        the largest value its term can take once its successor becomes known.
+    """
+
+    value: float
+    critical_service: int | None
+    last_service_bound: float
+
+
+def _worst_outgoing_transfer(
+    problem: OrderingProblem, source: int, candidates: list[int]
+) -> float:
+    """Largest per-tuple transfer cost from ``source`` to any of ``candidates`` or the sink."""
+    worst = problem.sink_cost(source)
+    for destination in candidates:
+        if destination == source:
+            continue
+        cost = problem.transfer_cost(source, destination)
+        if cost > worst:
+            worst = cost
+    return worst
+
+
+def max_residual_cost(partial: PartialPlan) -> ResidualBound:
+    """Compute ``ε̄`` for ``partial`` (see module docstring).
+
+    The bound is the maximum of
+
+    * the worst-case completed term of the prefix's last service (its outgoing
+      transfer is not settled yet), and
+    * for every remaining service ``j``: the worst-case number of tuples that
+      can reach ``j`` times ``(c_j + σ_j * worst outgoing transfer of j)``.
+    """
+    problem = partial.problem
+    remaining = partial.remaining()
+
+    # Worst-case completion of the current last service's term.
+    last_bound = 0.0
+    last = partial.last
+    if last is not None and not partial.is_complete:
+        last_rate = partial.prefix_products[-1]
+        worst_out = _worst_outgoing_transfer(problem, last, remaining)
+        last_bound = last_rate * (
+            problem.costs[last] + problem.selectivities[last] * worst_out
+        )
+
+    # Worst-case inflation from remaining proliferative services.
+    proliferation = 1.0
+    for index in remaining:
+        sigma = problem.selectivities[index]
+        if sigma > 1.0:
+            proliferation *= sigma
+
+    best_value = last_bound
+    critical: int | None = None
+    for index in remaining:
+        sigma = problem.selectivities[index]
+        inflation = proliferation / sigma if sigma > 1.0 else proliferation
+        rate_bound = partial.output_rate * inflation
+        others = [other for other in remaining if other != index]
+        worst_out = _worst_outgoing_transfer(problem, index, others)
+        term_bound = rate_bound * (problem.costs[index] + sigma * worst_out)
+        if term_bound > best_value:
+            best_value = term_bound
+            critical = index
+
+    return ResidualBound(value=best_value, critical_service=critical, last_service_bound=last_bound)
+
+
+def epsilon_bar(partial: PartialPlan) -> float:
+    """Shorthand returning only the value of ``ε̄``."""
+    return max_residual_cost(partial).value
+
+
+def initial_upper_bound(problem: OrderingProblem) -> float:
+    """A trivially valid upper bound on the optimal bottleneck cost.
+
+    Used by optimizers before any plan has been completed: the bound of the
+    empty prefix (every service processed at full input rate with its worst
+    outgoing transfer, inflated by every proliferative service) is an upper
+    bound on the cost of *any* plan, hence also on the optimum.
+    """
+    return epsilon_bar(PartialPlan.empty(problem))

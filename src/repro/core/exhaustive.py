@@ -1,0 +1,64 @@
+"""Exhaustive enumeration of all linear orderings.
+
+The brute-force optimizer is the ground truth against which the
+branch-and-bound algorithm is validated (experiment E1 and the property-based
+tests).  It is intentionally guarded by a size limit: enumerating ``n!`` plans
+beyond a dozen services is pointless.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult, SearchStatistics
+from repro.exceptions import OptimizationError, ProblemTooLargeError
+from repro.utils.timing import Stopwatch
+
+__all__ = ["ExhaustiveOptimizer", "exhaustive_search"]
+
+
+class ExhaustiveOptimizer:
+    """Evaluates every feasible permutation and keeps the cheapest one."""
+
+    name = "exhaustive"
+
+    def __init__(self, max_size: int = 10) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be positive")
+        self.max_size = max_size
+
+    def optimize(self, problem: OrderingProblem) -> OptimizationResult:
+        """Return the optimal plan by enumerating all feasible orderings."""
+        if problem.size > self.max_size:
+            raise ProblemTooLargeError(
+                f"exhaustive search is limited to {self.max_size} services, "
+                f"the problem has {problem.size} (raise max_size explicitly if you really want this)"
+            )
+        stopwatch = Stopwatch().start()
+        stats = SearchStatistics()
+        precedence = problem.precedence
+        best_order: tuple[int, ...] | None = None
+        best_cost = float("inf")
+        for order in permutations(range(problem.size)):
+            stats.nodes_expanded += 1
+            if precedence is not None and not precedence.is_valid_order(order):
+                continue
+            cost = problem.cost(order)
+            stats.plans_evaluated += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_order = order
+                stats.incumbent_updates += 1
+        stats.elapsed_seconds = stopwatch.stop()
+        if best_order is None:
+            raise OptimizationError("no feasible ordering satisfies the precedence constraints")
+        plan = problem.plan(best_order)
+        return OptimizationResult(
+            plan=plan, cost=plan.cost, algorithm=self.name, optimal=True, statistics=stats
+        )
+
+
+def exhaustive_search(problem: OrderingProblem, max_size: int = 10) -> OptimizationResult:
+    """Convenience wrapper around :class:`ExhaustiveOptimizer`."""
+    return ExhaustiveOptimizer(max_size=max_size).optimize(problem)

@@ -1,0 +1,129 @@
+"""Greedy construction heuristics.
+
+These are the cheap baselines the evaluation compares the branch-and-bound
+optimizer against (experiment E4) and the source of the initial incumbent the
+branch-and-bound search starts from.  None of them is optimal in general; all
+of them respect precedence constraints.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.plan import PartialPlan
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult, SearchStatistics
+from repro.exceptions import OptimizationError
+from repro.utils.timing import Stopwatch
+
+__all__ = ["GreedyStrategy", "GreedyOptimizer", "greedy", "random_plan"]
+
+
+class GreedyStrategy:
+    """Available greedy construction strategies."""
+
+    NEAREST_SUCCESSOR = "nearest_successor"
+    """Start with the cheapest two-service prefix, then repeatedly append the
+    service with the smallest transfer cost from the current last service.
+    This is the expansion heuristic of the paper's algorithm run without
+    backtracking."""
+
+    CHEAPEST_COST = "cheapest_cost"
+    """Repeatedly append the allowed service with the smallest processing cost
+    ``c_i`` (optimal for σ<=1 under *uniform* communication costs)."""
+
+    MOST_SELECTIVE = "most_selective"
+    """Repeatedly append the allowed service with the smallest selectivity, so
+    that downstream services see as few tuples as possible."""
+
+    MIN_TERM = "min_term"
+    """One-step lookahead: repeatedly append the allowed service that minimises
+    the bottleneck cost ``ε`` of the resulting prefix."""
+
+    RANDOM = "random"
+    """A uniformly random feasible ordering (seeded)."""
+
+    ALL = (NEAREST_SUCCESSOR, CHEAPEST_COST, MOST_SELECTIVE, MIN_TERM, RANDOM)
+
+
+class GreedyOptimizer:
+    """Builds one plan with a greedy strategy; never backtracks."""
+
+    def __init__(self, strategy: str = GreedyStrategy.NEAREST_SUCCESSOR, seed: int = 0) -> None:
+        if strategy not in GreedyStrategy.ALL:
+            raise ValueError(
+                f"unknown greedy strategy {strategy!r}; expected one of {GreedyStrategy.ALL}"
+            )
+        self.strategy = strategy
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        """Algorithm name used in result reports."""
+        return f"greedy_{self.strategy}"
+
+    def optimize(self, problem: OrderingProblem) -> OptimizationResult:
+        """Construct a plan for ``problem`` with the configured strategy."""
+        stopwatch = Stopwatch().start()
+        stats = SearchStatistics()
+        rng = random.Random(self.seed)
+        partial = PartialPlan.empty(problem)
+        while not partial.is_complete:
+            candidates = partial.allowed_extensions()
+            if not candidates:
+                raise OptimizationError(
+                    "no service can legally be appended; precedence constraints are unsatisfiable"
+                )
+            successor = self._pick(problem, partial, candidates, rng)
+            partial = partial.extend(successor)
+            stats.nodes_expanded += 1
+        stats.plans_evaluated = 1
+        stats.elapsed_seconds = stopwatch.stop()
+        plan = problem.plan(partial.order)
+        return OptimizationResult(
+            plan=plan, cost=plan.cost, algorithm=self.name, optimal=False, statistics=stats
+        )
+
+    # -- strategy implementations ---------------------------------------------
+
+    def _pick(
+        self,
+        problem: OrderingProblem,
+        partial: PartialPlan,
+        candidates: list[int],
+        rng: random.Random,
+    ) -> int:
+        if self.strategy == GreedyStrategy.RANDOM:
+            return rng.choice(candidates)
+        if self.strategy == GreedyStrategy.CHEAPEST_COST:
+            return min(candidates, key=lambda index: (problem.costs[index], index))
+        if self.strategy == GreedyStrategy.MOST_SELECTIVE:
+            return min(candidates, key=lambda index: (problem.selectivities[index], index))
+        if self.strategy == GreedyStrategy.MIN_TERM:
+            return min(candidates, key=lambda index: (partial.extend(index).epsilon, index))
+        # NEAREST_SUCCESSOR
+        last = partial.last
+        if last is None:
+            return min(candidates, key=lambda index: (self._best_pair_cost(problem, index), index))
+        return min(candidates, key=lambda index: (problem.transfer_cost(last, index), index))
+
+    @staticmethod
+    def _best_pair_cost(problem: OrderingProblem, first: int) -> float:
+        """Bottleneck cost of the cheapest two-service prefix starting with ``first``."""
+        start = PartialPlan.empty(problem).extend(first)
+        candidates = start.allowed_extensions()
+        if not candidates:
+            return start.epsilon
+        return min(start.extend(second).epsilon for second in candidates)
+
+
+def greedy(
+    problem: OrderingProblem, strategy: str = GreedyStrategy.NEAREST_SUCCESSOR, seed: int = 0
+) -> OptimizationResult:
+    """Convenience wrapper around :class:`GreedyOptimizer`."""
+    return GreedyOptimizer(strategy, seed=seed).optimize(problem)
+
+
+def random_plan(problem: OrderingProblem, seed: int = 0) -> OptimizationResult:
+    """A uniformly random feasible plan (common strawman baseline)."""
+    return GreedyOptimizer(GreedyStrategy.RANDOM, seed=seed).optimize(problem)

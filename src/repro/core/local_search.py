@@ -1,0 +1,218 @@
+"""Local-search heuristics: hill climbing and simulated annealing.
+
+These metaheuristics serve two purposes in the reproduction:
+
+* additional baselines for experiment E4 (they often come close to the optimum
+  but cannot certify it, unlike the branch-and-bound algorithm), and
+* a quality upper bound for instances too large for any exact method.
+
+Both operate on complete plans and explore *swap* (exchange two positions) and
+*insertion* (move one service to another position) neighbourhoods, rejecting
+neighbours that violate precedence constraints.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.greedy import GreedyOptimizer, GreedyStrategy
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult, SearchStatistics
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "HillClimbingOptimizer",
+    "SimulatedAnnealingOptimizer",
+    "SimulatedAnnealingOptions",
+    "hill_climbing",
+    "simulated_annealing",
+]
+
+
+def _neighbours(order: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+    """Yield all swap and insertion neighbours of ``order``."""
+    size = len(order)
+    for i in range(size):
+        for j in range(i + 1, size):
+            swapped = list(order)
+            swapped[i], swapped[j] = swapped[j], swapped[i]
+            yield tuple(swapped)
+    for i in range(size):
+        for j in range(size):
+            if i == j:
+                continue
+            moved = list(order)
+            service = moved.pop(i)
+            moved.insert(j, service)
+            candidate = tuple(moved)
+            if candidate != order:
+                yield candidate
+
+
+def _is_feasible(problem: OrderingProblem, order: tuple[int, ...]) -> bool:
+    precedence = problem.precedence
+    return precedence is None or precedence.is_valid_order(order)
+
+
+def _initial_order(problem: OrderingProblem, seed: int) -> tuple[int, ...]:
+    """A feasible starting plan: the best of the deterministic greedy strategies."""
+    best_order: tuple[int, ...] | None = None
+    best_cost = float("inf")
+    for strategy in (
+        GreedyStrategy.NEAREST_SUCCESSOR,
+        GreedyStrategy.CHEAPEST_COST,
+        GreedyStrategy.MIN_TERM,
+    ):
+        result = GreedyOptimizer(strategy, seed=seed).optimize(problem)
+        if result.cost < best_cost:
+            best_cost = result.cost
+            best_order = result.plan.order
+    assert best_order is not None
+    return best_order
+
+
+class HillClimbingOptimizer:
+    """Steepest-descent local search over swap/insertion neighbourhoods."""
+
+    name = "hill_climbing"
+
+    def __init__(self, max_iterations: int = 1000, seed: int = 0) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        self.max_iterations = max_iterations
+        self.seed = seed
+
+    def optimize(self, problem: OrderingProblem) -> OptimizationResult:
+        """Improve a greedy plan until no neighbour is better (or iterations run out)."""
+        stopwatch = Stopwatch().start()
+        stats = SearchStatistics()
+        current = _initial_order(problem, self.seed)
+        current_cost = problem.cost(current)
+        stats.plans_evaluated += 1
+        for _ in range(self.max_iterations):
+            stats.nodes_expanded += 1
+            best_neighbour: tuple[int, ...] | None = None
+            best_cost = current_cost
+            for neighbour in _neighbours(current):
+                if not _is_feasible(problem, neighbour):
+                    continue
+                cost = problem.cost(neighbour)
+                stats.plans_evaluated += 1
+                if cost < best_cost:
+                    best_cost = cost
+                    best_neighbour = neighbour
+            if best_neighbour is None:
+                break
+            current = best_neighbour
+            current_cost = best_cost
+            stats.incumbent_updates += 1
+        stats.elapsed_seconds = stopwatch.stop()
+        plan = problem.plan(current)
+        return OptimizationResult(
+            plan=plan, cost=plan.cost, algorithm=self.name, optimal=False, statistics=stats
+        )
+
+
+@dataclass(frozen=True)
+class SimulatedAnnealingOptions:
+    """Annealing schedule parameters."""
+
+    initial_temperature: float = 1.0
+    """Starting temperature, relative to the initial plan cost."""
+
+    cooling: float = 0.995
+    """Multiplicative cooling factor per step (must lie in (0, 1))."""
+
+    steps: int = 5000
+    """Number of proposal steps."""
+
+    seed: int = 0
+    """Seed of the proposal/acceptance random stream."""
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if not 0.0 < self.cooling < 1.0:
+            raise ValueError("cooling must lie strictly between 0 and 1")
+        if self.steps < 1:
+            raise ValueError("steps must be positive")
+
+
+class SimulatedAnnealingOptimizer:
+    """Simulated annealing over the swap/insertion neighbourhood."""
+
+    name = "simulated_annealing"
+
+    def __init__(self, options: SimulatedAnnealingOptions | None = None) -> None:
+        self.options = options if options is not None else SimulatedAnnealingOptions()
+
+    def optimize(self, problem: OrderingProblem) -> OptimizationResult:
+        """Anneal from a greedy plan; returns the best plan seen."""
+        options = self.options
+        stopwatch = Stopwatch().start()
+        stats = SearchStatistics()
+        rng = random.Random(options.seed)
+
+        current = _initial_order(problem, options.seed)
+        current_cost = problem.cost(current)
+        best = current
+        best_cost = current_cost
+        stats.plans_evaluated += 1
+
+        temperature = options.initial_temperature * max(current_cost, 1e-12)
+        for _ in range(options.steps):
+            stats.nodes_expanded += 1
+            proposal = self._propose(current, rng)
+            if not _is_feasible(problem, proposal):
+                temperature *= options.cooling
+                continue
+            cost = problem.cost(proposal)
+            stats.plans_evaluated += 1
+            accept = cost <= current_cost
+            if not accept and temperature > 0:
+                accept = rng.random() < math.exp((current_cost - cost) / temperature)
+            if accept:
+                current = proposal
+                current_cost = cost
+                if cost < best_cost:
+                    best = proposal
+                    best_cost = cost
+                    stats.incumbent_updates += 1
+            temperature *= options.cooling
+
+        stats.elapsed_seconds = stopwatch.stop()
+        plan = problem.plan(best)
+        return OptimizationResult(
+            plan=plan, cost=plan.cost, algorithm=self.name, optimal=False, statistics=stats
+        )
+
+    @staticmethod
+    def _propose(order: tuple[int, ...], rng: random.Random) -> tuple[int, ...]:
+        """A random swap or insertion move."""
+        size = len(order)
+        if size < 2:
+            return order
+        modified = list(order)
+        if rng.random() < 0.5:
+            i, j = rng.sample(range(size), 2)
+            modified[i], modified[j] = modified[j], modified[i]
+        else:
+            i, j = rng.sample(range(size), 2)
+            service = modified.pop(i)
+            modified.insert(j, service)
+        return tuple(modified)
+
+
+def hill_climbing(problem: OrderingProblem, max_iterations: int = 1000, seed: int = 0) -> OptimizationResult:
+    """Convenience wrapper around :class:`HillClimbingOptimizer`."""
+    return HillClimbingOptimizer(max_iterations=max_iterations, seed=seed).optimize(problem)
+
+
+def simulated_annealing(
+    problem: OrderingProblem, options: SimulatedAnnealingOptions | None = None
+) -> OptimizationResult:
+    """Convenience wrapper around :class:`SimulatedAnnealingOptimizer`."""
+    return SimulatedAnnealingOptimizer(options).optimize(problem)

@@ -1,0 +1,346 @@
+"""The ordering problem: services, transfer costs and optional constraints.
+
+An :class:`OrderingProblem` bundles everything an optimizer needs:
+
+* the services ``WS_0 ... WS_{N-1}`` (costs ``c_i`` and selectivities ``σ_i``),
+* the pairwise per-tuple transfer costs ``t_{i,j}`` (decentralized execution:
+  services ship tuples directly to each other, so the costs differ per pair),
+* optional precedence constraints, and
+* optional per-service transfer costs to the query consumer ("sink").
+
+The problem object is immutable; "what if" variations are created through the
+``with_*`` copy helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.cost_model import (
+    CommunicationCostMatrix,
+    StageCost,
+    bottleneck_cost,
+    bottleneck_stage,
+    stage_costs,
+)
+from repro.core.plan import Plan
+from repro.core.precedence import PrecedenceGraph
+from repro.core.service import Service
+from repro.exceptions import InvalidPlanError, InvalidProblemError
+from repro.utils.validation import require_non_negative
+
+__all__ = ["OrderingProblem"]
+
+
+class OrderingProblem:
+    """An instance of the optimal service-ordering problem of the paper."""
+
+    def __init__(
+        self,
+        services: Iterable[Service],
+        transfer: CommunicationCostMatrix,
+        precedence: PrecedenceGraph | None = None,
+        sink_transfer: Sequence[float] | None = None,
+        name: str = "",
+    ) -> None:
+        self._services = tuple(services)
+        if not self._services:
+            raise InvalidProblemError("an ordering problem needs at least one service")
+        names = [service.name for service in self._services]
+        if len(set(names)) != len(names):
+            raise InvalidProblemError(f"service names must be unique, got {names!r}")
+        if transfer.size != len(self._services):
+            raise InvalidProblemError(
+                f"transfer matrix covers {transfer.size} services but {len(self._services)} were given"
+            )
+        if precedence is not None and precedence.size != len(self._services):
+            raise InvalidProblemError(
+                f"precedence graph covers {precedence.size} services but {len(self._services)} were given"
+            )
+        if sink_transfer is not None:
+            if len(sink_transfer) != len(self._services):
+                raise InvalidProblemError(
+                    f"sink_transfer has {len(sink_transfer)} entries but there are {len(self._services)} services"
+                )
+            sink_transfer = tuple(
+                require_non_negative(value, f"sink_transfer[{i}]", InvalidProblemError)
+                for i, value in enumerate(sink_transfer)
+            )
+        self._transfer = transfer
+        self._precedence = precedence
+        self._sink_transfer = sink_transfer
+        self._name = name
+        self._costs = tuple(service.cost for service in self._services)
+        self._selectivities = tuple(service.selectivity for service in self._services)
+        self._name_to_index = {service.name: index for index, service in enumerate(self._services)}
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_parameters(
+        cls,
+        costs: Sequence[float],
+        selectivities: Sequence[float],
+        transfer: CommunicationCostMatrix | Sequence[Sequence[float]],
+        names: Sequence[str] | None = None,
+        precedence: PrecedenceGraph | None = None,
+        sink_transfer: Sequence[float] | None = None,
+        name: str = "",
+    ) -> "OrderingProblem":
+        """Build a problem directly from numeric parameters.
+
+        This is the most convenient constructor for experiments and tests:
+        service names default to ``WS0, WS1, ...``.
+        """
+        if len(costs) != len(selectivities):
+            raise InvalidProblemError(
+                f"{len(costs)} costs but {len(selectivities)} selectivities were given"
+            )
+        if names is None:
+            names = [f"WS{i}" for i in range(len(costs))]
+        if len(names) != len(costs):
+            raise InvalidProblemError(f"{len(names)} names but {len(costs)} costs were given")
+        services = [
+            Service(name=names[i], cost=costs[i], selectivity=selectivities[i])
+            for i in range(len(costs))
+        ]
+        if not isinstance(transfer, CommunicationCostMatrix):
+            transfer = CommunicationCostMatrix(transfer)
+        return cls(
+            services,
+            transfer,
+            precedence=precedence,
+            sink_transfer=sink_transfer,
+            name=name,
+        )
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Optional human-readable name of the instance."""
+        return self._name
+
+    @property
+    def services(self) -> tuple[Service, ...]:
+        """The services, in index order."""
+        return self._services
+
+    @property
+    def size(self) -> int:
+        """Number of services ``N``."""
+        return len(self._services)
+
+    @property
+    def costs(self) -> tuple[float, ...]:
+        """Per-tuple processing costs ``c_i`` in index order."""
+        return self._costs
+
+    @property
+    def selectivities(self) -> tuple[float, ...]:
+        """Selectivities ``σ_i`` in index order."""
+        return self._selectivities
+
+    @property
+    def transfer(self) -> CommunicationCostMatrix:
+        """The pairwise per-tuple transfer-cost matrix ``t``."""
+        return self._transfer
+
+    @property
+    def precedence(self) -> PrecedenceGraph | None:
+        """The precedence constraints, if any."""
+        return self._precedence
+
+    @property
+    def sink_transfer(self) -> tuple[float, ...] | None:
+        """Per-service transfer cost to the query consumer, if modelled."""
+        return self._sink_transfer
+
+    def service_index(self, name: str) -> int:
+        """Index of the service named ``name``."""
+        try:
+            return self._name_to_index[name]
+        except KeyError:
+            raise InvalidProblemError(f"unknown service {name!r}") from None
+
+    def service(self, index: int) -> Service:
+        """The service at ``index``."""
+        return self._services[index]
+
+    def transfer_cost(self, source: int, destination: int) -> float:
+        """Per-tuple transfer cost from ``source`` to ``destination``."""
+        return self._transfer.cost(source, destination)
+
+    def sink_cost(self, index: int) -> float:
+        """Per-tuple transfer cost from ``index`` to the consumer (0 when unmodelled)."""
+        if self._sink_transfer is None:
+            return 0.0
+        return self._sink_transfer[index]
+
+    # -- structural predicates ----------------------------------------------
+
+    @property
+    def all_selective(self) -> bool:
+        """Whether every service has ``σ <= 1`` (the paper's restricted setting)."""
+        return all(sigma <= 1.0 for sigma in self._selectivities)
+
+    @property
+    def has_uniform_transfer(self) -> bool:
+        """Whether the communication costs are uniform (the centralized special case)."""
+        return self._transfer.is_uniform()
+
+    @property
+    def has_precedence_constraints(self) -> bool:
+        """Whether any precedence constraint is present."""
+        return self._precedence is not None and self._precedence.has_constraints
+
+    # -- plan construction and evaluation ------------------------------------
+
+    def plan(self, order: Sequence[int]) -> Plan:
+        """Build (and validate) a complete plan from a sequence of service indices."""
+        plan = Plan(self, tuple(order))
+        self.validate_plan(plan.order)
+        return plan
+
+    def plan_from_names(self, names: Sequence[str]) -> Plan:
+        """Build a plan from service names instead of indices."""
+        return self.plan([self.service_index(name) for name in names])
+
+    def validate_plan(self, order: Sequence[int]) -> None:
+        """Validate ``order`` as a complete plan (permutation + precedence)."""
+        if len(order) != self.size:
+            raise InvalidPlanError(
+                f"a complete plan must contain all {self.size} services, got {len(order)}"
+            )
+        if sorted(order) != list(range(self.size)):
+            raise InvalidPlanError(f"plan {order!r} is not a permutation of the services")
+        if self._precedence is not None:
+            self._precedence.check_order(order)
+
+    def cost(self, order: Sequence[int]) -> float:
+        """The bottleneck cost metric (Eq. 1) of the complete plan ``order``."""
+        return bottleneck_cost(
+            self._costs, self._selectivities, self._transfer, order, self._sink_transfer
+        )
+
+    def stage_costs(self, order: Sequence[int]) -> list[StageCost]:
+        """Per-stage cost breakdown of the complete plan ``order``."""
+        return stage_costs(
+            self._costs, self._selectivities, self._transfer, order, self._sink_transfer
+        )
+
+    def bottleneck_stage(self, order: Sequence[int]) -> StageCost:
+        """The stage attaining the bottleneck cost of ``order``."""
+        return bottleneck_stage(
+            self._costs, self._selectivities, self._transfer, order, self._sink_transfer
+        )
+
+    # -- copy helpers --------------------------------------------------------
+
+    def with_transfer(self, transfer: CommunicationCostMatrix) -> "OrderingProblem":
+        """Copy of this problem with a different transfer matrix."""
+        return OrderingProblem(
+            self._services,
+            transfer,
+            precedence=self._precedence,
+            sink_transfer=self._sink_transfer,
+            name=self._name,
+        )
+
+    def with_uniform_transfer(self, value: float | None = None) -> "OrderingProblem":
+        """Copy of this problem with uniform communication costs.
+
+        ``value`` defaults to the mean of the current off-diagonal entries,
+        which is how a communication-oblivious (centralized) optimizer would
+        see the network.
+        """
+        if value is None:
+            value = self._transfer.mean_cost()
+        return self.with_transfer(CommunicationCostMatrix.uniform(self.size, value))
+
+    def with_precedence(self, precedence: PrecedenceGraph | None) -> "OrderingProblem":
+        """Copy of this problem with different precedence constraints."""
+        return OrderingProblem(
+            self._services,
+            self._transfer,
+            precedence=precedence,
+            sink_transfer=self._sink_transfer,
+            name=self._name,
+        )
+
+    def with_sink_transfer(self, sink_transfer: Sequence[float] | None) -> "OrderingProblem":
+        """Copy of this problem with different sink-transfer costs."""
+        return OrderingProblem(
+            self._services,
+            self._transfer,
+            precedence=self._precedence,
+            sink_transfer=sink_transfer,
+            name=self._name,
+        )
+
+    def with_threads_folded(self) -> "OrderingProblem":
+        """The single-threaded problem equivalent to this one under Eq. 1.
+
+        The paper's restricted setting assumes single-threaded services; the
+        relaxation to ``k``-threaded services divides each service's sustained
+        busy time per input tuple — ``c_i + σ_i · t_{i,next}`` — by ``k``.
+        That is exactly the bottleneck term of a single-threaded service with
+        cost ``c_i / k`` and outgoing transfer costs scaled by ``1 / k``, so
+        the optimizers can handle multi-threaded services by optimizing this
+        folded problem instead.  Services already declared single-threaded are
+        unchanged.
+        """
+        if all(service.threads == 1 for service in self._services):
+            return self
+        folded_services = [
+            Service(
+                name=service.name,
+                cost=service.cost / service.threads,
+                selectivity=service.selectivity,
+                host=service.host,
+                threads=1,
+            )
+            for service in self._services
+        ]
+        size = self.size
+        rows = [
+            [
+                0.0
+                if i == j
+                else self._transfer.cost(i, j) / self._services[i].threads
+                for j in range(size)
+            ]
+            for i in range(size)
+        ]
+        sink_transfer = None
+        if self._sink_transfer is not None:
+            sink_transfer = [
+                self._sink_transfer[i] / self._services[i].threads for i in range(size)
+            ]
+        return OrderingProblem(
+            folded_services,
+            CommunicationCostMatrix(rows),
+            precedence=self._precedence,
+            sink_transfer=sink_transfer,
+            name=f"{self._name}-threads-folded" if self._name else "threads-folded",
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable description used by examples."""
+        lines = [
+            f"OrderingProblem {self._name or '(unnamed)'}: {self.size} services",
+            f"  transfer: mean={self._transfer.mean_cost():.4g}, "
+            f"heterogeneity={self._transfer.heterogeneity():.3f}, "
+            f"uniform={self.has_uniform_transfer}",
+        ]
+        for service in self._services:
+            lines.append("  " + service.describe())
+        if self.has_precedence_constraints:
+            assert self._precedence is not None
+            lines.append(f"  precedence: {list(self._precedence.edges())}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"OrderingProblem(name={self._name!r}, size={self.size})"

@@ -1,0 +1,166 @@
+"""Service descriptions.
+
+A *service* (``WS_i`` in the paper) is a remote filtering/processing operator
+characterised by its average per-tuple processing cost ``c_i`` and its
+selectivity ``σ_i`` (average number of output tuples per input tuple).  The
+paper's restricted setting has every service selective (``σ_i <= 1``) and
+single-threaded; both restrictions are modelled here and relaxed elsewhere
+(:mod:`repro.core.bounds` handles ``σ > 1``; the simulator supports
+multi-threaded services).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import InvalidServiceError
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["Service", "ServiceRegistry"]
+
+
+@dataclass(frozen=True)
+class Service:
+    """A single Web Service participating in a pipelined query.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier; must be unique within a problem.
+    cost:
+        Average time ``c_i`` (in abstract time units, e.g. seconds) the service
+        needs to process one input tuple.  Must be ``>= 0``.
+    selectivity:
+        Average ratio ``σ_i`` of output tuples to input tuples.  ``σ < 1``
+        models a filter, ``σ > 1`` a proliferative service (e.g. a person →
+        credit-card-numbers lookup).  Must be ``> 0``.
+    host:
+        Optional name of the host machine the service runs on.  Used by the
+        network substrate to derive transfer costs and by the simulator for
+        reporting; the optimizers only look at the cost matrix.
+    threads:
+        Number of worker threads the service uses.  The paper's analysis
+        assumes ``1``; the simulator honours larger values.
+    """
+
+    name: str
+    cost: float
+    selectivity: float
+    host: str | None = None
+    threads: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise InvalidServiceError(f"service name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(
+            self, "cost", require_non_negative(self.cost, f"cost of service {self.name!r}", InvalidServiceError)
+        )
+        object.__setattr__(
+            self,
+            "selectivity",
+            require_positive(self.selectivity, f"selectivity of service {self.name!r}", InvalidServiceError),
+        )
+        if not isinstance(self.threads, int) or self.threads < 1:
+            raise InvalidServiceError(
+                f"threads of service {self.name!r} must be a positive integer, got {self.threads!r}"
+            )
+
+    @property
+    def is_selective(self) -> bool:
+        """Whether the service filters tuples (``σ <= 1``)."""
+        return self.selectivity <= 1.0
+
+    @property
+    def is_proliferative(self) -> bool:
+        """Whether the service produces more tuples than it consumes (``σ > 1``)."""
+        return self.selectivity > 1.0
+
+    def with_host(self, host: str) -> "Service":
+        """Return a copy of this service pinned to ``host``."""
+        return Service(
+            name=self.name,
+            cost=self.cost,
+            selectivity=self.selectivity,
+            host=host,
+            threads=self.threads,
+        )
+
+    def scaled(self, cost_factor: float = 1.0, selectivity_factor: float = 1.0) -> "Service":
+        """Return a copy with cost and selectivity scaled by the given factors."""
+        return Service(
+            name=self.name,
+            cost=self.cost * cost_factor,
+            selectivity=self.selectivity * selectivity_factor,
+            host=self.host,
+            threads=self.threads,
+        )
+
+    def describe(self) -> str:
+        """One-line human readable description used in reports and examples."""
+        kind = "filter" if self.is_selective else "proliferative"
+        host = f" @ {self.host}" if self.host else ""
+        return f"{self.name}{host}: c={self.cost:.4g}, sigma={self.selectivity:.4g} ({kind})"
+
+
+class ServiceRegistry:
+    """An ordered, name-indexed collection of services.
+
+    The registry guarantees unique names and stable indices, which the rest of
+    the library uses to address services (plans are tuples of indices).
+    """
+
+    def __init__(self, services: Iterable[Service] = ()) -> None:
+        self._services: list[Service] = []
+        self._index: dict[str, int] = {}
+        for service in services:
+            self.add(service)
+
+    def add(self, service: Service) -> int:
+        """Add a service and return its index.  Duplicate names are rejected."""
+        if not isinstance(service, Service):
+            raise InvalidServiceError(f"expected a Service, got {type(service).__name__}")
+        if service.name in self._index:
+            raise InvalidServiceError(f"duplicate service name {service.name!r}")
+        index = len(self._services)
+        self._services.append(service)
+        self._index[service.name] = index
+        return index
+
+    def index_of(self, name: str) -> int:
+        """Return the index of the service named ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise InvalidServiceError(f"unknown service {name!r}") from None
+
+    def get(self, name: str) -> Service:
+        """Return the service named ``name``."""
+        return self._services[self.index_of(name)]
+
+    def names(self) -> list[str]:
+        """Return all service names in index order."""
+        return [service.name for service in self._services]
+
+    def as_tuple(self) -> tuple[Service, ...]:
+        """Return the services as an index-ordered tuple."""
+        return tuple(self._services)
+
+    def by_host(self) -> Mapping[str | None, list[Service]]:
+        """Group services by host name."""
+        groups: dict[str | None, list[Service]] = {}
+        for service in self._services:
+            groups.setdefault(service.host, []).append(service)
+        return groups
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self) -> Iterator[Service]:
+        return iter(self._services)
+
+    def __getitem__(self, index: int) -> Service:
+        return self._services[index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index

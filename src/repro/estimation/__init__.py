@@ -1,0 +1,29 @@
+"""Parameter estimation: service statistics, problem calibration, adaptive re-optimization."""
+
+from repro.estimation.adaptive import (
+    AdaptiveReoptimizer,
+    ParameterDrift,
+    ReoptimizationDecision,
+    compute_drift,
+)
+from repro.estimation.calibration import LinkObservation, ProblemCalibrator, observe_simulation
+from repro.estimation.sampling import (
+    OnlineStatistics,
+    SelectivityEstimate,
+    ServiceObserver,
+    estimate_selectivity,
+)
+
+__all__ = [
+    "AdaptiveReoptimizer",
+    "LinkObservation",
+    "OnlineStatistics",
+    "ParameterDrift",
+    "ProblemCalibrator",
+    "ReoptimizationDecision",
+    "SelectivityEstimate",
+    "ServiceObserver",
+    "compute_drift",
+    "estimate_selectivity",
+    "observe_simulation",
+]

@@ -1,0 +1,160 @@
+"""Calibrating a full ordering problem from observations.
+
+:class:`ProblemCalibrator` collects
+
+* per-service invocation observations (processing time, in/out counts) and
+* per-link block-transfer measurements (block size, elapsed time)
+
+and assembles the :class:`repro.core.problem.OrderingProblem` the optimizer
+needs.  :func:`observe_simulation` produces such observations from a simulated
+run, closing the loop estimation → optimization → execution that a real
+deployment would run continuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import CommunicationCostMatrix
+from repro.core.problem import OrderingProblem
+from repro.core.service import Service
+from repro.estimation.sampling import OnlineStatistics, ServiceObserver
+from repro.exceptions import EstimationError
+from repro.simulation.metrics import SimulationReport
+
+__all__ = ["LinkObservation", "ProblemCalibrator", "observe_simulation"]
+
+
+@dataclass(frozen=True)
+class LinkObservation:
+    """One measured block transfer between two services."""
+
+    source: str
+    destination: str
+    block_size: int
+    elapsed: float
+
+    def per_tuple_cost(self) -> float:
+        """The per-tuple transfer cost implied by this measurement."""
+        if self.block_size <= 0:
+            raise EstimationError("block_size must be positive")
+        if self.elapsed < 0:
+            raise EstimationError("elapsed must be non-negative")
+        return self.elapsed / self.block_size
+
+
+class ProblemCalibrator:
+    """Builds an :class:`OrderingProblem` from service and link observations."""
+
+    def __init__(self) -> None:
+        self._observers: dict[str, ServiceObserver] = {}
+        self._hosts: dict[str, str | None] = {}
+        self._links: dict[tuple[str, str], OnlineStatistics] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def observer(self, service_name: str, host: str | None = None) -> ServiceObserver:
+        """The (lazily created) observer of ``service_name``."""
+        if service_name not in self._observers:
+            self._observers[service_name] = ServiceObserver(service_name)
+            self._hosts[service_name] = host
+        elif host is not None:
+            self._hosts[service_name] = host
+        return self._observers[service_name]
+
+    def record_service_call(
+        self,
+        service_name: str,
+        processing_time: float,
+        inputs: int = 1,
+        outputs: int = 1,
+        host: str | None = None,
+    ) -> None:
+        """Record one invocation of ``service_name``."""
+        self.observer(service_name, host).record_call(processing_time, inputs, outputs)
+
+    def record_transfer(self, observation: LinkObservation) -> None:
+        """Record one block-transfer measurement."""
+        key = (observation.source, observation.destination)
+        self._links.setdefault(key, OnlineStatistics()).add(observation.per_tuple_cost())
+
+    # -- assembly ---------------------------------------------------------------
+
+    def service_names(self) -> list[str]:
+        """Names of every observed service, in first-observation order."""
+        return list(self._observers)
+
+    def build_problem(
+        self, default_transfer: float | None = None, name: str = "calibrated"
+    ) -> OrderingProblem:
+        """Assemble the calibrated ordering problem.
+
+        ``default_transfer`` fills in service pairs without measurements; when
+        it is ``None`` a missing pair raises :class:`EstimationError` (so silent
+        mis-calibration cannot happen).
+        """
+        names = self.service_names()
+        if not names:
+            raise EstimationError("no service observations were recorded")
+        services = []
+        for service_name in names:
+            observer = self._observers[service_name]
+            services.append(
+                Service(
+                    name=service_name,
+                    cost=observer.cost_estimate(),
+                    selectivity=max(observer.selectivity_estimate().value, 1e-9),
+                    host=self._hosts.get(service_name),
+                )
+            )
+        index_of = {service_name: index for index, service_name in enumerate(names)}
+        size = len(names)
+        rows = [[0.0] * size for _ in range(size)]
+        for i, source in enumerate(names):
+            for j, destination in enumerate(names):
+                if i == j:
+                    continue
+                stats = self._links.get((source, destination))
+                if stats is not None and stats.count > 0:
+                    rows[i][j] = stats.mean
+                elif default_transfer is not None:
+                    rows[i][j] = default_transfer
+                else:
+                    raise EstimationError(
+                        f"no transfer measurements between {source!r} and {destination!r} "
+                        "and no default_transfer was given"
+                    )
+        del index_of  # names double as indices; kept for readability above
+        return OrderingProblem(services, CommunicationCostMatrix(rows), name=name)
+
+
+def observe_simulation(
+    calibrator: ProblemCalibrator, problem: OrderingProblem, report: SimulationReport
+) -> None:
+    """Feed the per-service activity of a simulated run into ``calibrator``.
+
+    Processing time per call and in/out counts come straight from the
+    simulation report; transfer costs are recovered from each stage's shipping
+    time divided by the tuples it shipped.
+    """
+    order = report.order
+    for metrics in report.services:
+        service = problem.service(metrics.service_index)
+        if metrics.tuples_in > 0:
+            calibrator.record_service_call(
+                service.name,
+                processing_time=metrics.processing_time,
+                inputs=metrics.tuples_in,
+                outputs=metrics.tuples_out,
+                host=service.host,
+            )
+        if metrics.tuples_out > 0 and metrics.position + 1 < len(order):
+            downstream = problem.service(order[metrics.position + 1])
+            calibrator.record_transfer(
+                LinkObservation(
+                    source=service.name,
+                    destination=downstream.name,
+                    block_size=metrics.tuples_out,
+                    elapsed=metrics.transfer_time,
+                )
+            )

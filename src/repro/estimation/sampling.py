@@ -1,0 +1,186 @@
+"""Estimating service parameters from observed executions.
+
+The optimizer needs ``c_i``, ``σ_i`` and ``t_{i,j}``; a deployment obtains
+them by observing (or probing) the services.  This module provides the
+statistical plumbing:
+
+* :class:`OnlineStatistics` — numerically stable streaming mean/variance
+  (Welford's algorithm), used for per-tuple processing times,
+* :func:`estimate_selectivity` — selectivity estimate with a normal-
+  approximation confidence interval from input/output counts,
+* :class:`ServiceObserver` — accumulates per-call observations of one service
+  and produces point estimates plus uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import EstimationError
+
+__all__ = [
+    "OnlineStatistics",
+    "SelectivityEstimate",
+    "estimate_selectivity",
+    "ServiceObserver",
+]
+
+
+class OnlineStatistics:
+    """Streaming mean / variance / extrema (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate one observation."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise EstimationError(f"observations must be finite, got {value!r}")
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+
+    def extend(self, values: list[float] | tuple[float, ...]) -> None:
+        """Incorporate several observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0 before any observation)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 with fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the mean."""
+        if self._count == 0:
+            return 0.0
+        return self.stddev / math.sqrt(self._count)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (``inf`` before any observation)."""
+        return self._minimum
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (``-inf`` before any observation)."""
+        return self._maximum
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval of the mean."""
+        margin = z * self.standard_error
+        return (self.mean - margin, self.mean + margin)
+
+
+@dataclass(frozen=True)
+class SelectivityEstimate:
+    """A selectivity point estimate with its confidence interval."""
+
+    value: float
+    lower: float
+    upper: float
+    inputs: int
+    outputs: int
+
+    @property
+    def is_selective(self) -> bool:
+        """Whether the service appears to filter tuples (σ <= 1)."""
+        return self.value <= 1.0
+
+
+def estimate_selectivity(inputs: int, outputs: int, z: float = 1.96) -> SelectivityEstimate:
+    """Estimate σ = outputs / inputs with a normal-approximation interval.
+
+    For selective services the per-tuple survival is Bernoulli(σ) and the
+    binomial standard error applies; for proliferative services the same
+    ratio-of-counts estimate is used with a Poisson-style error on the output
+    count.  Both collapse to the plain ratio when counts are large.
+    """
+    if inputs <= 0:
+        raise EstimationError("cannot estimate selectivity before any input tuple was observed")
+    if outputs < 0:
+        raise EstimationError("the output count cannot be negative")
+    value = outputs / inputs
+    if value <= 1.0:
+        spread = math.sqrt(max(value * (1.0 - value), 0.0) / inputs)
+    else:
+        spread = math.sqrt(outputs) / inputs
+    margin = z * spread
+    return SelectivityEstimate(
+        value=value,
+        lower=max(value - margin, 0.0),
+        upper=value + margin,
+        inputs=inputs,
+        outputs=outputs,
+    )
+
+
+class ServiceObserver:
+    """Accumulates observations of one service and produces parameter estimates."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise EstimationError("a service observer needs a service name")
+        self.name = name
+        self._processing_times = OnlineStatistics()
+        self._inputs = 0
+        self._outputs = 0
+
+    def record_call(self, processing_time: float, inputs: int = 1, outputs: int = 1) -> None:
+        """Record one observed invocation (time for ``inputs`` tuples, ``outputs`` emitted)."""
+        if processing_time < 0:
+            raise EstimationError("processing_time must be non-negative")
+        if inputs <= 0:
+            raise EstimationError("inputs must be positive")
+        if outputs < 0:
+            raise EstimationError("outputs must be non-negative")
+        # Store the per-tuple time so heterogeneous batch sizes can be mixed.
+        self._processing_times.add(processing_time / inputs)
+        self._inputs += inputs
+        self._outputs += outputs
+
+    @property
+    def observations(self) -> int:
+        """Number of recorded invocations."""
+        return self._processing_times.count
+
+    def cost_estimate(self) -> float:
+        """Estimated per-tuple processing cost ``c_i``."""
+        if self._processing_times.count == 0:
+            raise EstimationError(f"no observations recorded for service {self.name!r}")
+        return self._processing_times.mean
+
+    def cost_confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Confidence interval of the per-tuple cost estimate."""
+        return self._processing_times.confidence_interval(z)
+
+    def selectivity_estimate(self, z: float = 1.96) -> SelectivityEstimate:
+        """Estimated selectivity ``σ_i`` with its confidence interval."""
+        return estimate_selectivity(self._inputs, self._outputs, z)

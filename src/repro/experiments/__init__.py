@@ -1,0 +1,99 @@
+"""The reconstructed evaluation: experiments E1–E8 and their registry.
+
+The brief announcement contains no tables or figures of its own; the suite
+below reconstructs the evaluation its text and companion technical report
+describe (see ``DESIGN.md`` for the mapping).  Each experiment can be run
+directly::
+
+    from repro.experiments import REGISTRY
+    result = REGISTRY.run("E2", sizes=(5, 6, 7))
+    print(result.to_markdown())
+
+and each has a pytest-benchmark target under ``benchmarks/``.
+"""
+
+from repro.experiments.e1_optimality import run_e1_optimality
+from repro.experiments.e2_pruning import run_e2_pruning
+from repro.experiments.e3_scaling import run_e3_scaling
+from repro.experiments.e4_plan_quality import BASELINES, run_e4_plan_quality
+from repro.experiments.e5_selectivity import run_e5_selectivity
+from repro.experiments.e6_btsp import run_e6_btsp
+from repro.experiments.e7_simulation import run_e7_simulation
+from repro.experiments.e8_ablation import ABLATION_CONFIGURATIONS, run_e8_ablation
+from repro.experiments.harness import Experiment, ExperimentRegistry, ExperimentResult
+from repro.experiments.report import generate_report, render_report, write_report
+
+REGISTRY = ExperimentRegistry()
+"""All experiments of the reconstructed evaluation, keyed E1..E8."""
+
+for _experiment in (
+    Experiment(
+        "E1",
+        "Optimality of the branch-and-bound ordering",
+        "Does branch-and-bound always match exhaustive search?",
+        run_e1_optimality,
+    ),
+    Experiment(
+        "E2",
+        "Pruning effectiveness",
+        "What fraction of the n! orderings does the search explore?",
+        run_e2_pruning,
+    ),
+    Experiment(
+        "E3",
+        "Optimization time scaling",
+        "How does optimization time grow with the number of services?",
+        run_e3_scaling,
+    ),
+    Experiment(
+        "E4",
+        "Plan quality vs baselines",
+        "How much worse are communication-oblivious orderings under heterogeneous transfer costs?",
+        run_e4_plan_quality,
+    ),
+    Experiment(
+        "E5",
+        "Selectivity regimes",
+        "How do selectivity ranges (including sigma > 1) affect pruning and quality?",
+        run_e5_selectivity,
+    ),
+    Experiment(
+        "E6",
+        "Bottleneck-TSP special case",
+        "Does the degenerate instance family coincide with bottleneck TSP?",
+        run_e6_btsp,
+    ),
+    Experiment(
+        "E7",
+        "Cost-model validation by simulation",
+        "Does simulated decentralized pipelined execution match Eq. 1?",
+        run_e7_simulation,
+    ),
+    Experiment(
+        "E8",
+        "Pruning-rule ablation",
+        "What does each lemma contribute to the search-space reduction?",
+        run_e8_ablation,
+    ),
+):
+    REGISTRY.register(_experiment)
+
+__all__ = [
+    "ABLATION_CONFIGURATIONS",
+    "BASELINES",
+    "Experiment",
+    "ExperimentRegistry",
+    "ExperimentResult",
+    "REGISTRY",
+    "generate_report",
+    "render_report",
+    "run_e1_optimality",
+    "run_e2_pruning",
+    "run_e3_scaling",
+    "run_e4_plan_quality",
+    "run_e5_selectivity",
+    "run_e6_btsp",
+    "run_e7_simulation",
+    "run_e8_ablation",
+    "write_report",
+]

@@ -1,0 +1,101 @@
+"""E4 — Plan quality vs baselines as communication heterogeneity grows.
+
+The paper's raison d'être is the *decentralized* setting: when inter-service
+transfer costs differ, a communication-oblivious (centralized) ordering can be
+far from optimal.  The experiment sweeps the heterogeneity of the transfer
+matrix from 0 (uniform, the Srivastava setting) to 1 (fully clustered LAN/WAN)
+while holding the mean transfer cost fixed, and reports, for every baseline,
+the mean ratio of its bottleneck cost to the optimum.  The expected shape: all
+ratios start near 1.0 at heterogeneity 0 and the communication-oblivious
+baselines degrade as heterogeneity grows.
+"""
+
+from __future__ import annotations
+
+from repro.core.branch_and_bound import branch_and_bound
+from repro.core.greedy import GreedyOptimizer, GreedyStrategy
+from repro.core.local_search import HillClimbingOptimizer
+from repro.core.srivastava import SrivastavaOptimizer
+from repro.experiments.harness import ExperimentResult
+from repro.utils.tables import Table
+from repro.workloads.suites import heterogeneity_suite
+
+__all__ = ["run_e4_plan_quality", "BASELINES"]
+
+BASELINES = (
+    "srivastava_centralized",
+    "greedy_nearest_successor",
+    "greedy_cheapest_cost",
+    "hill_climbing",
+    "random",
+)
+"""Baselines reported by the experiment, in column order."""
+
+
+def _baseline_cost(name: str, problem, seed: int) -> float:
+    if name == "srivastava_centralized":
+        return SrivastavaOptimizer().optimize(problem).cost
+    if name == "greedy_nearest_successor":
+        return GreedyOptimizer(GreedyStrategy.NEAREST_SUCCESSOR).optimize(problem).cost
+    if name == "greedy_cheapest_cost":
+        return GreedyOptimizer(GreedyStrategy.CHEAPEST_COST).optimize(problem).cost
+    if name == "hill_climbing":
+        return HillClimbingOptimizer(seed=seed).optimize(problem).cost
+    if name == "random":
+        return GreedyOptimizer(GreedyStrategy.RANDOM, seed=seed).optimize(problem).cost
+    raise ValueError(f"unknown baseline {name!r}")
+
+
+def run_e4_plan_quality(
+    service_count: int = 8,
+    levels: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    instances_per_level: int = 4,
+    seed: int = 404,
+) -> ExperimentResult:
+    """Sweep transfer-cost heterogeneity and compare baselines to the optimum."""
+    suites = heterogeneity_suite(
+        service_count=service_count,
+        levels=levels,
+        instances_per_level=instances_per_level,
+        seed=seed,
+    )
+    headers = ["heterogeneity", "optimal cost"] + [f"{name} ratio" for name in BASELINES]
+    table = Table(headers, title="E4: plan quality vs communication heterogeneity")
+
+    degradation: dict[str, list[float]] = {name: [] for name in BASELINES}
+    for level in levels:
+        problems = suites[level]
+        optimal_costs: list[float] = []
+        ratios: dict[str, list[float]] = {name: [] for name in BASELINES}
+        for index, problem in enumerate(problems):
+            optimum = branch_and_bound(problem).cost
+            optimal_costs.append(optimum)
+            for name in BASELINES:
+                cost = _baseline_cost(name, problem, seed=seed + index)
+                ratios[name].append(cost / max(optimum, 1e-12))
+        row = [level, sum(optimal_costs) / len(optimal_costs)]
+        for name in BASELINES:
+            mean_ratio = sum(ratios[name]) / len(ratios[name])
+            degradation[name].append(mean_ratio)
+            row.append(round(mean_ratio, 4))
+        table.add_row(*row)
+
+    centralized = degradation["srivastava_centralized"]
+    notes = [
+        "Every ratio is >= 1.0 by construction (the branch-and-bound plan is optimal).",
+        "The communication-oblivious centralized ordering degrades as heterogeneity grows "
+        f"(mean ratio {centralized[0]:.3f} at level {levels[0]} -> {centralized[-1]:.3f} at level "
+        f"{levels[-1]}), which is the gap the decentralized-aware optimizer closes.",
+    ]
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Plan quality of baselines relative to the optimal decentralized ordering",
+        table=table,
+        parameters={
+            "service_count": service_count,
+            "levels": list(levels),
+            "instances_per_level": instances_per_level,
+            "seed": seed,
+        },
+        notes=notes,
+    )

@@ -1,0 +1,91 @@
+"""E5 — Effect of the selectivity regime.
+
+The restricted setting of the paper assumes all services are selective
+(``σ <= 1``); the ``ε̄`` measure has to be adapted when proliferative services
+are present.  The experiment draws instances from three selectivity regimes
+(strongly selective, weakly selective, mixed with proliferative services) and
+reports the optimizer's pruning behaviour and the gap of a greedy baseline in
+each regime — checking both that the algorithm stays optimal with ``σ > 1``
+and how much harder the search becomes.
+"""
+
+from __future__ import annotations
+
+from repro.core.branch_and_bound import branch_and_bound
+from repro.core.dynamic_programming import dynamic_programming
+from repro.core.greedy import GreedyOptimizer, GreedyStrategy
+from repro.experiments.harness import ExperimentResult
+from repro.utils.tables import Table
+from repro.workloads.generator import generate_suite
+from repro.workloads.suites import selectivity_suite
+
+__all__ = ["run_e5_selectivity"]
+
+
+def run_e5_selectivity(
+    service_count: int = 7,
+    instances_per_regime: int = 5,
+    seed: int = 505,
+) -> ExperimentResult:
+    """Compare optimizer behaviour across selectivity regimes."""
+    table = Table(
+        [
+            "regime",
+            "mean optimal cost",
+            "bb nodes",
+            "lemma2 closures",
+            "greedy/optimal ratio",
+            "optimal (vs dp)",
+        ],
+        title="E5: selectivity regimes",
+    )
+    notes: list[str] = []
+    for regime in selectivity_suite(service_count):
+        problems = generate_suite(regime.spec, instances_per_regime, seed=seed)
+        costs: list[float] = []
+        nodes = 0
+        closures = 0
+        ratios: list[float] = []
+        all_optimal = True
+        for problem in problems:
+            bb = branch_and_bound(problem)
+            dp = dynamic_programming(problem)
+            if abs(bb.cost - dp.cost) > 1e-9 * max(1.0, dp.cost):
+                all_optimal = False
+            costs.append(bb.cost)
+            nodes += bb.statistics.nodes_expanded
+            closures += bb.statistics.lemma2_closures
+            greedy_cost = GreedyOptimizer(GreedyStrategy.NEAREST_SUCCESSOR).optimize(problem).cost
+            ratios.append(greedy_cost / max(bb.cost, 1e-12))
+        count = len(problems)
+        table.add_row(
+            regime.name,
+            sum(costs) / count,
+            round(nodes / count, 1),
+            round(closures / count, 1),
+            round(sum(ratios) / count, 4),
+            all_optimal,
+        )
+        if not all_optimal:
+            notes.append(f"MISMATCH: regime {regime.name} produced a non-optimal plan.")
+
+    if not notes:
+        notes.append(
+            "Branch-and-bound stays optimal in every regime, including mixed proliferative "
+            "instances, via the modified epsilon-bar bound."
+        )
+    notes.append(
+        "Strongly selective workloads close (lemma 2) earlier because the residual bound "
+        "drops quickly with the prefix's output rate."
+    )
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Effect of the selectivity regime on pruning and plan quality",
+        table=table,
+        parameters={
+            "service_count": service_count,
+            "instances_per_regime": instances_per_regime,
+            "seed": seed,
+        },
+        notes=notes,
+    )

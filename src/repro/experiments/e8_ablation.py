@@ -1,0 +1,83 @@
+"""E8 — Ablation of the pruning rules.
+
+The paper devotes its technical section to three properties (the monotone
+lower bound, the ``ε >= ε̄`` closure, the bottleneck-prefix pruning) and to the
+cheapest-successor expansion policy.  The ablation quantifies what each rule
+contributes: the same instances are solved with rules switched off one at a
+time, and the table reports explored prefixes and wall-clock time per
+configuration.  Every configuration must return the same optimal cost — the
+rules trade work, not correctness.
+"""
+
+from __future__ import annotations
+
+from repro.core.branch_and_bound import BranchAndBoundOptions, SuccessorOrder, branch_and_bound
+from repro.experiments.harness import ExperimentResult
+from repro.utils.tables import Table
+from repro.workloads.generator import generate_suite
+from repro.workloads.suites import default_spec
+
+__all__ = ["run_e8_ablation", "ABLATION_CONFIGURATIONS"]
+
+ABLATION_CONFIGURATIONS: dict[str, BranchAndBoundOptions] = {
+    "full algorithm": BranchAndBoundOptions(),
+    "no lemma 3": BranchAndBoundOptions(use_lemma3=False),
+    "no lemma 2/3": BranchAndBoundOptions(use_lemma2=False, use_lemma3=False),
+    "bound only, index order": BranchAndBoundOptions(
+        use_lemma2=False, use_lemma3=False, successor_order=SuccessorOrder.INDEX
+    ),
+    "no seed incumbent": BranchAndBoundOptions(seed_incumbent=False),
+}
+"""The configurations the ablation compares (name -> options)."""
+
+
+def run_e8_ablation(
+    service_count: int = 8,
+    instances: int = 4,
+    seed: int = 808,
+) -> ExperimentResult:
+    """Quantify the contribution of each pruning rule."""
+    problems = generate_suite(default_spec(service_count), instances, seed=seed)
+    table = Table(
+        ["configuration", "mean nodes", "mean plans", "mean time ms", "all optimal"],
+        title="E8: pruning-rule ablation",
+    )
+
+    reference_costs = [branch_and_bound(problem).cost for problem in problems]
+    node_counts: dict[str, float] = {}
+    for label, options in ABLATION_CONFIGURATIONS.items():
+        nodes = 0
+        plans = 0
+        elapsed = 0.0
+        all_optimal = True
+        for problem, reference in zip(problems, reference_costs):
+            result = branch_and_bound(problem, options)
+            nodes += result.statistics.nodes_expanded
+            plans += result.statistics.plans_evaluated
+            elapsed += result.statistics.elapsed_seconds
+            if abs(result.cost - reference) > 1e-9 * max(1.0, reference):
+                all_optimal = False
+        count = len(problems)
+        node_counts[label] = nodes / count
+        table.add_row(
+            label,
+            round(nodes / count, 1),
+            round(plans / count, 1),
+            round(1e3 * elapsed / count, 3),
+            all_optimal,
+        )
+
+    full = node_counts["full algorithm"]
+    stripped = node_counts["bound only, index order"]
+    notes = [
+        "Every configuration returns the same optimal cost: the rules only affect search effort.",
+        f"The full rule set expands {full:.1f} prefixes on average vs {stripped:.1f} for the "
+        "stripped-down configuration — the contribution the paper's lemmas make.",
+    ]
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Ablation of Lemma 2/3 pruning and the expansion policy",
+        table=table,
+        parameters={"service_count": service_count, "instances": instances, "seed": seed},
+        notes=notes,
+    )

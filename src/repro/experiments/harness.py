@@ -1,0 +1,118 @@
+"""The experiment harness.
+
+Every experiment (E1–E8, see ``DESIGN.md``) is a function returning an
+:class:`ExperimentResult`: a table of rows (what a paper table/figure would
+plot), free-form notes, and the parameters that produced it.  The harness
+provides the result container, a registry, and markdown rendering used to
+regenerate ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import ExperimentError
+from repro.utils.tables import Table
+
+__all__ = ["ExperimentResult", "Experiment", "ExperimentRegistry"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    experiment_id: str
+    """Identifier such as ``"E1"``."""
+
+    title: str
+    """Short description of what the experiment measures."""
+
+    table: Table
+    """The rows the paper's corresponding table/figure would contain."""
+
+    parameters: dict[str, Any] = field(default_factory=dict)
+    """The parameters the experiment ran with (sizes, seeds, repetitions)."""
+
+    notes: list[str] = field(default_factory=list)
+    """Observations worth recording next to the table (e.g. claim checks)."""
+
+    def to_markdown(self) -> str:
+        """Render the full result (title, parameters, table, notes) as markdown."""
+        lines = [f"## {self.experiment_id} — {self.title}", ""]
+        if self.parameters:
+            rendered = ", ".join(f"{key}={value}" for key, value in sorted(self.parameters.items()))
+            lines.append(f"*Parameters:* {rendered}")
+            lines.append("")
+        lines.append(self.table.to_markdown())
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"* {note}")
+        return "\n".join(lines)
+
+    def row_dicts(self) -> list[dict[str, Any]]:
+        """The table rows as dictionaries (convenient for assertions in tests)."""
+        return self.table.to_dicts()
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment definition."""
+
+    experiment_id: str
+    title: str
+    question: str
+    runner: Callable[..., ExperimentResult]
+
+    def run(self, **parameters: Any) -> ExperimentResult:
+        """Execute the experiment with the given parameter overrides."""
+        return self.runner(**parameters)
+
+
+class ExperimentRegistry:
+    """Keeps the experiment definitions addressable by id."""
+
+    def __init__(self) -> None:
+        self._experiments: dict[str, Experiment] = {}
+
+    def register(self, experiment: Experiment) -> None:
+        """Add an experiment; duplicate ids are rejected."""
+        if experiment.experiment_id in self._experiments:
+            raise ExperimentError(f"experiment {experiment.experiment_id!r} is already registered")
+        self._experiments[experiment.experiment_id] = experiment
+
+    def get(self, experiment_id: str) -> Experiment:
+        """Look up an experiment by id."""
+        try:
+            return self._experiments[experiment_id]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown experiment {experiment_id!r}; registered: {sorted(self._experiments)}"
+            ) from None
+
+    def run(self, experiment_id: str, **parameters: Any) -> ExperimentResult:
+        """Run the experiment with the given id."""
+        return self.get(experiment_id).run(**parameters)
+
+    def run_all(self, **parameters: Mapping[str, Any]) -> list[ExperimentResult]:
+        """Run every registered experiment with per-experiment parameter overrides.
+
+        ``parameters`` maps experiment ids to keyword dictionaries; experiments
+        without an entry run with their defaults.
+        """
+        results = []
+        for experiment_id in sorted(self._experiments):
+            overrides = dict(parameters.get(experiment_id, {}))
+            results.append(self.run(experiment_id, **overrides))
+        return results
+
+    def ids(self) -> list[str]:
+        """All registered experiment ids, sorted."""
+        return sorted(self._experiments)
+
+    def __len__(self) -> int:
+        return len(self._experiments)
+
+    def __contains__(self, experiment_id: object) -> bool:
+        return experiment_id in self._experiments

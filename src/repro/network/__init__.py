@@ -1,0 +1,34 @@
+"""Network substrate: topologies, link models and communication-cost matrices."""
+
+from repro.network.latency import LinkModel, per_tuple_cost
+from repro.network.matrix import (
+    clustered_matrix,
+    interpolate_to_uniform,
+    matrix_from_topology,
+    random_matrix,
+    random_placement,
+)
+from repro.network.topology import (
+    Host,
+    NetworkTopology,
+    clustered_topology,
+    euclidean_topology,
+    random_topology,
+    uniform_topology,
+)
+
+__all__ = [
+    "Host",
+    "LinkModel",
+    "NetworkTopology",
+    "clustered_matrix",
+    "clustered_topology",
+    "euclidean_topology",
+    "interpolate_to_uniform",
+    "matrix_from_topology",
+    "per_tuple_cost",
+    "random_matrix",
+    "random_placement",
+    "random_topology",
+    "uniform_topology",
+]

@@ -1,0 +1,65 @@
+"""Link-level cost model: from latency/bandwidth to per-tuple transfer costs.
+
+The optimizer works with per-tuple transfer costs ``t_{i,j}``.  In a real
+deployment tuples travel in *blocks* (the paper notes that ``t_{i,j}`` is then
+the block transfer cost divided by the block size).  :class:`LinkModel`
+captures a link's latency and bandwidth and converts a (tuple size, block
+size) pair into the per-tuple cost the optimizer needs, which is also what the
+calibration code in :mod:`repro.estimation` reconstructs from measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["LinkModel", "per_tuple_cost"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A directed network link between two hosts.
+
+    Parameters
+    ----------
+    latency:
+        One-way latency per transfer (seconds per block, independent of size).
+    bandwidth:
+        Sustained throughput in bytes per second.  ``float("inf")`` models a
+        link whose cost is pure latency (e.g. co-located services).
+    """
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.latency, "latency")
+        # Infinite bandwidth is explicitly allowed (pure-latency links, co-located services).
+        if self.bandwidth != float("inf"):
+            require_positive(self.bandwidth, "bandwidth")
+
+    def block_cost(self, tuple_size: float, block_size: int) -> float:
+        """Time to ship one block of ``block_size`` tuples of ``tuple_size`` bytes."""
+        require_positive(tuple_size, "tuple_size")
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        payload = tuple_size * block_size
+        transmission = 0.0 if self.bandwidth == float("inf") else payload / self.bandwidth
+        return self.latency + transmission
+
+    def per_tuple_cost(self, tuple_size: float, block_size: int = 1) -> float:
+        """Average per-tuple transfer cost when tuples travel in blocks.
+
+        This is exactly the quantity the paper plugs into Eq. 1: the block
+        transfer cost divided by the number of tuples in the block.  Larger
+        blocks amortise the latency component.
+        """
+        return self.block_cost(tuple_size, block_size) / block_size
+
+
+def per_tuple_cost(
+    latency: float, bandwidth: float, tuple_size: float, block_size: int = 1
+) -> float:
+    """Functional shorthand for :meth:`LinkModel.per_tuple_cost`."""
+    return LinkModel(latency=latency, bandwidth=bandwidth).per_tuple_cost(tuple_size, block_size)

@@ -1,0 +1,150 @@
+"""Building communication-cost matrices from topologies and placements.
+
+The optimizer consumes a :class:`repro.core.cost_model.CommunicationCostMatrix`
+of per-tuple costs ``t_{i,j}``.  This module derives such matrices from a
+:class:`repro.network.topology.NetworkTopology` and a *placement* (which host
+each service runs on), and offers the interpolation helper used by experiment
+E4 to sweep smoothly from a uniform (centralized-looking) network to a fully
+heterogeneous one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost_model import CommunicationCostMatrix
+from repro.network.topology import NetworkTopology
+from repro.utils.rng import derive_rng
+from repro.utils.validation import require_positive, require_probability
+
+__all__ = [
+    "matrix_from_topology",
+    "random_placement",
+    "interpolate_to_uniform",
+    "random_matrix",
+    "clustered_matrix",
+]
+
+
+def matrix_from_topology(
+    topology: NetworkTopology,
+    placement: Sequence[str],
+    tuple_size: float = 1024.0,
+    block_size: int = 1,
+) -> CommunicationCostMatrix:
+    """Per-tuple cost matrix for services placed on ``placement[i]`` hosts.
+
+    Services placed on the same host communicate for free (in-memory handoff).
+    """
+    for host in placement:
+        topology.host(host)  # raises KeyError for unknown hosts
+    size = len(placement)
+    rows = [
+        [
+            0.0
+            if i == j
+            else topology.per_tuple_cost(placement[i], placement[j], tuple_size, block_size)
+            for j in range(size)
+        ]
+        for i in range(size)
+    ]
+    return CommunicationCostMatrix(rows)
+
+
+def random_placement(
+    topology: NetworkTopology, service_count: int, seed: int = 0, distinct: bool = True
+) -> list[str]:
+    """Assign ``service_count`` services to hosts of ``topology``.
+
+    With ``distinct=True`` (the paper's setting: one service per host) the
+    topology must have at least as many hosts as services.
+    """
+    require_positive(service_count, "service_count")
+    rng = derive_rng(seed, "placement")
+    names = topology.host_names()
+    if distinct:
+        if service_count > len(names):
+            raise ValueError(
+                f"cannot place {service_count} services on {len(names)} hosts distinctly"
+            )
+        return rng.sample(names, service_count)
+    return [rng.choice(names) for _ in range(service_count)]
+
+
+def interpolate_to_uniform(
+    matrix: CommunicationCostMatrix, heterogeneity: float
+) -> CommunicationCostMatrix:
+    """Blend ``matrix`` with its uniform (mean-valued) counterpart.
+
+    ``heterogeneity = 0`` returns the uniform matrix with the same mean,
+    ``heterogeneity = 1`` returns ``matrix`` unchanged; intermediate values
+    interpolate linearly.  The mean per-tuple cost is preserved across the
+    sweep, so experiment E4 isolates the effect of *heterogeneity* from the
+    effect of overall network speed.
+    """
+    heterogeneity = require_probability(heterogeneity, "heterogeneity")
+    mean = matrix.mean_cost()
+    size = matrix.size
+    rows = [
+        [
+            0.0
+            if i == j
+            else heterogeneity * matrix.cost(i, j) + (1.0 - heterogeneity) * mean
+            for j in range(size)
+        ]
+        for i in range(size)
+    ]
+    return CommunicationCostMatrix(rows)
+
+
+def random_matrix(
+    size: int,
+    seed: int = 0,
+    low: float = 0.0,
+    high: float = 1.0,
+    symmetric: bool = True,
+) -> CommunicationCostMatrix:
+    """A matrix of i.i.d. uniform per-tuple costs (convenience for tests/experiments)."""
+    require_positive(size, "size")
+    if low < 0 or high < low:
+        raise ValueError(f"invalid cost range [{low}, {high}]")
+    rng = derive_rng(seed, "random_matrix")
+    rows = [[0.0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(size):
+            if i == j:
+                continue
+            if symmetric and j < i:
+                rows[i][j] = rows[j][i]
+            else:
+                rows[i][j] = rng.uniform(low, high)
+    return CommunicationCostMatrix(rows)
+
+
+def clustered_matrix(
+    size: int,
+    cluster_count: int = 2,
+    seed: int = 0,
+    intra_cost: float = 0.05,
+    inter_cost: float = 1.0,
+    jitter: float = 0.2,
+) -> CommunicationCostMatrix:
+    """A per-tuple cost matrix with a LAN/WAN cluster structure.
+
+    Services are assigned round-robin to ``cluster_count`` clusters; costs
+    within a cluster are around ``intra_cost`` and across clusters around
+    ``inter_cost``, each perturbed multiplicatively by up to ``jitter``.
+    """
+    require_positive(size, "size")
+    require_positive(cluster_count, "cluster_count")
+    rng = derive_rng(seed, "clustered_matrix")
+    cluster_of = [index % cluster_count for index in range(size)]
+    rows = [[0.0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(size):
+            if i == j:
+                continue
+            nominal = intra_cost if cluster_of[i] == cluster_of[j] else inter_cost
+            factor = 1.0 + jitter * (2.0 * rng.random() - 1.0)
+            rows[i][j] = max(nominal * factor, 0.0)
+    return CommunicationCostMatrix(rows)

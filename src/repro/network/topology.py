@@ -1,0 +1,239 @@
+"""Synthetic network topologies hosting the services.
+
+The paper's setting places every service on a different host; services ship
+tuples directly to each other, so the per-pair transfer costs reflect the
+network distance between their hosts.  This module provides the topology
+generators the experiments use:
+
+* :func:`uniform_topology` — every pair of hosts has the same link (the
+  centralized special case of Srivastava et al.),
+* :func:`random_topology` — i.i.d. random link latencies (unstructured
+  heterogeneity),
+* :func:`euclidean_topology` — hosts embedded in the unit square, latency
+  proportional to Euclidean distance (a metric, possibly triangle-inequality
+  respecting cost structure),
+* :func:`clustered_topology` — hosts grouped into data centres: cheap
+  intra-cluster links, expensive inter-cluster (WAN) links.  This is the
+  regime where decentralized-aware ordering pays off most (experiment E4).
+
+Each generator returns a :class:`NetworkTopology`, which can be turned into a
+:class:`repro.core.cost_model.CommunicationCostMatrix` for a given service
+placement via :mod:`repro.network.matrix`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.network.latency import LinkModel
+from repro.utils.rng import derive_rng
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "Host",
+    "NetworkTopology",
+    "uniform_topology",
+    "random_topology",
+    "euclidean_topology",
+    "clustered_topology",
+]
+
+
+@dataclass(frozen=True)
+class Host:
+    """A machine that can host one or more services."""
+
+    name: str
+    position: tuple[float, float] | None = None
+    """Optional 2-D coordinates (used by the Euclidean generator)."""
+
+    cluster: str | None = None
+    """Optional cluster/data-centre label (used by the clustered generator)."""
+
+
+@dataclass
+class NetworkTopology:
+    """A set of hosts plus a directed link model for every ordered host pair."""
+
+    hosts: list[Host]
+    links: dict[tuple[str, str], LinkModel] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [host.name for host in self.hosts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"host names must be unique, got {names!r}")
+
+    @property
+    def size(self) -> int:
+        """Number of hosts."""
+        return len(self.hosts)
+
+    def host_names(self) -> list[str]:
+        """Host names in declaration order."""
+        return [host.name for host in self.hosts]
+
+    def host(self, name: str) -> Host:
+        """The host named ``name``."""
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        raise KeyError(f"unknown host {name!r}")
+
+    def link(self, source: str, destination: str) -> LinkModel:
+        """The link from ``source`` to ``destination`` (zero-cost for co-located)."""
+        if source == destination:
+            return LinkModel(latency=0.0, bandwidth=float("inf"))
+        try:
+            return self.links[(source, destination)]
+        except KeyError:
+            raise KeyError(f"no link defined from {source!r} to {destination!r}") from None
+
+    def set_link(self, source: str, destination: str, link: LinkModel, symmetric: bool = False) -> None:
+        """Define (or overwrite) the link from ``source`` to ``destination``."""
+        if source == destination:
+            raise ValueError("links between a host and itself are implicit and cost nothing")
+        self.links[(source, destination)] = link
+        if symmetric:
+            self.links[(destination, source)] = link
+
+    def per_tuple_cost(
+        self, source: str, destination: str, tuple_size: float, block_size: int = 1
+    ) -> float:
+        """Per-tuple transfer cost between two hosts under the given shipping granularity."""
+        if source == destination:
+            return 0.0
+        return self.link(source, destination).per_tuple_cost(tuple_size, block_size)
+
+    def describe(self) -> str:
+        """Human-readable summary used by examples."""
+        lines = [f"NetworkTopology with {self.size} hosts:"]
+        for host in self.hosts:
+            cluster = f" [{host.cluster}]" if host.cluster else ""
+            lines.append(f"  {host.name}{cluster}")
+        return "\n".join(lines)
+
+
+def _host_names(count: int, prefix: str) -> list[str]:
+    return [f"{prefix}{index}" for index in range(count)]
+
+
+def uniform_topology(
+    host_count: int,
+    latency: float = 0.01,
+    bandwidth: float = 1e7,
+    prefix: str = "host",
+) -> NetworkTopology:
+    """Every ordered pair of hosts gets an identical link."""
+    require_positive(host_count, "host_count")
+    hosts = [Host(name) for name in _host_names(host_count, prefix)]
+    topology = NetworkTopology(hosts)
+    link = LinkModel(latency=latency, bandwidth=bandwidth)
+    for source in topology.host_names():
+        for destination in topology.host_names():
+            if source != destination:
+                topology.set_link(source, destination, link)
+    return topology
+
+
+def random_topology(
+    host_count: int,
+    seed: int = 0,
+    latency_range: tuple[float, float] = (0.001, 0.1),
+    bandwidth_range: tuple[float, float] = (1e6, 1e8),
+    symmetric: bool = True,
+    prefix: str = "host",
+) -> NetworkTopology:
+    """I.i.d. random latencies/bandwidths per host pair (unstructured heterogeneity)."""
+    require_positive(host_count, "host_count")
+    low, high = latency_range
+    require_non_negative(low, "latency_range[0]")
+    require_positive(high, "latency_range[1]")
+    rng = derive_rng(seed, "random_topology")
+    hosts = [Host(name) for name in _host_names(host_count, prefix)]
+    topology = NetworkTopology(hosts)
+    names = topology.host_names()
+    for i, source in enumerate(names):
+        for j, destination in enumerate(names):
+            if i == j:
+                continue
+            if symmetric and j < i:
+                continue
+            link = LinkModel(
+                latency=rng.uniform(low, high),
+                bandwidth=rng.uniform(*bandwidth_range),
+            )
+            topology.set_link(source, destination, link, symmetric=symmetric)
+    return topology
+
+
+def euclidean_topology(
+    host_count: int,
+    seed: int = 0,
+    latency_per_unit: float = 0.05,
+    base_latency: float = 0.001,
+    bandwidth: float = 1e7,
+    prefix: str = "host",
+) -> NetworkTopology:
+    """Hosts placed uniformly in the unit square; latency grows with distance."""
+    require_positive(host_count, "host_count")
+    rng = derive_rng(seed, "euclidean_topology")
+    hosts = [
+        Host(name, position=(rng.random(), rng.random()))
+        for name in _host_names(host_count, prefix)
+    ]
+    topology = NetworkTopology(hosts)
+    for source in hosts:
+        for destination in hosts:
+            if source.name == destination.name:
+                continue
+            assert source.position is not None and destination.position is not None
+            distance = math.dist(source.position, destination.position)
+            topology.set_link(
+                source.name,
+                destination.name,
+                LinkModel(latency=base_latency + latency_per_unit * distance, bandwidth=bandwidth),
+            )
+    return topology
+
+
+def clustered_topology(
+    cluster_count: int,
+    hosts_per_cluster: int,
+    seed: int = 0,
+    intra_latency: float = 0.001,
+    inter_latency: float = 0.05,
+    latency_jitter: float = 0.2,
+    intra_bandwidth: float = 1e9,
+    inter_bandwidth: float = 1e7,
+    prefix: str = "host",
+) -> NetworkTopology:
+    """Hosts grouped into data centres (LAN inside, WAN across).
+
+    ``latency_jitter`` is the relative spread applied multiplicatively to each
+    link's nominal latency, so that links within a class are not perfectly
+    identical (as in any real deployment).
+    """
+    require_positive(cluster_count, "cluster_count")
+    require_positive(hosts_per_cluster, "hosts_per_cluster")
+    rng = derive_rng(seed, "clustered_topology")
+    hosts: list[Host] = []
+    for cluster_index in range(cluster_count):
+        cluster = f"dc{cluster_index}"
+        for host_index in range(hosts_per_cluster):
+            hosts.append(Host(f"{prefix}{cluster_index}_{host_index}", cluster=cluster))
+    topology = NetworkTopology(hosts)
+    for source in hosts:
+        for destination in hosts:
+            if source.name == destination.name:
+                continue
+            same_cluster = source.cluster == destination.cluster
+            nominal = intra_latency if same_cluster else inter_latency
+            bandwidth = intra_bandwidth if same_cluster else inter_bandwidth
+            jitter = 1.0 + latency_jitter * (2.0 * rng.random() - 1.0)
+            topology.set_link(
+                source.name,
+                destination.name,
+                LinkModel(latency=max(nominal * jitter, 1e-9), bandwidth=bandwidth),
+            )
+    return topology

@@ -1,0 +1,27 @@
+"""Discrete-event simulation of decentralized pipelined query execution."""
+
+from repro.simulation.engine import Simulator
+from repro.simulation.entities import FilterMode, FilterPolicy, ServiceNode, SinkNode, SourceNode
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.metrics import ServiceMetrics, SimulationReport
+from repro.simulation.pipeline import PipelineSimulator, SimulationConfig, simulate_plan
+from repro.simulation.tuples import Block, DataTuple, EndOfStream
+
+__all__ = [
+    "Block",
+    "DataTuple",
+    "EndOfStream",
+    "Event",
+    "EventQueue",
+    "FilterMode",
+    "FilterPolicy",
+    "PipelineSimulator",
+    "ServiceMetrics",
+    "ServiceNode",
+    "SimulationConfig",
+    "SimulationReport",
+    "Simulator",
+    "SinkNode",
+    "SourceNode",
+    "simulate_plan",
+]

@@ -1,0 +1,121 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the virtual clock and the event calendar.  Entities
+(service nodes, sources, sinks) never advance time themselves; they only
+schedule future callbacks through :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_in`.  The engine is deliberately generic — the
+pipelined-query behaviour lives in :mod:`repro.simulation.entities` — so that
+tests can exercise it with synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulation kernel."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting on the calendar."""
+        return len(self._queue)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (now={self._now}, requested={time})"
+            )
+        return self._queue.schedule(time, callback, label)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule(self._now + delay, callback, label)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the calendar drains (or a limit is hit).
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this virtual time.
+        max_events:
+            Stop after executing this many events (guards against runaway
+            feedback loops in misconfigured entity graphs).
+
+        Returns
+        -------
+        float
+            The virtual time after the last executed event.
+        """
+        if self._running:
+            raise SimulationError("the simulator is already running (re-entrant run() call)")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded the limit of {max_events} events"
+                    )
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.callback()
+                executed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute a single event; returns ``False`` when the calendar is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.callback()
+        self._events_processed += 1
+        return True
+
+    def reset(self) -> None:
+        """Clear the calendar and rewind the clock (entities must be rebuilt)."""
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0

@@ -1,0 +1,321 @@
+"""Simulation entities: tuple sources, pipelined service nodes and sinks.
+
+The entities implement the execution model of the paper:
+
+* execution is *decentralized*: each service ships its output blocks directly
+  to the next service in the plan (no mediator),
+* each service is (by default) single-threaded and handles one tuple at a
+  time: it first spends ``c_i`` processing the tuple, then — for each
+  surviving output tuple, once a block is full — occupies the same thread for
+  the per-tuple transfer time ``t_{i,next}`` while shipping the block,
+* filtering/proliferation follows the service's selectivity, either
+  deterministically (expected-value thinning, the default: output counts track
+  ``σ`` exactly) or stochastically (Bernoulli/geometric-style sampling).
+
+Because processing and shipping share the service's thread, the sustained
+per-input-tuple busy time of service ``i`` converges to
+``c_i + σ_i * t_{i,next}``, which is exactly the term of Eq. 1 — this is what
+experiment E7 verifies end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.service import Service
+from repro.exceptions import SimulationError
+from repro.simulation.engine import Simulator
+from repro.simulation.tuples import Block, DataTuple, EndOfStream
+
+__all__ = ["FilterMode", "FilterPolicy", "SinkNode", "ServiceNode", "SourceNode"]
+
+
+class FilterMode:
+    """How a service decides how many output tuples an input tuple produces."""
+
+    EXPECTED = "expected"
+    """Deterministic thinning/expansion: after ``k`` inputs the node has emitted
+    exactly ``round-to-floor(k * σ)`` outputs, so observed selectivity tracks
+    ``σ`` as closely as integrality allows.  Fully reproducible."""
+
+    STOCHASTIC = "stochastic"
+    """Each input independently produces ``floor(σ)`` outputs plus one more
+    with probability ``σ - floor(σ)`` (Bernoulli filtering for ``σ < 1``)."""
+
+    ALL = (EXPECTED, STOCHASTIC)
+
+
+class FilterPolicy:
+    """Stateful per-service output-count decision."""
+
+    def __init__(self, selectivity: float, mode: str, rng: random.Random) -> None:
+        if mode not in FilterMode.ALL:
+            raise SimulationError(f"unknown filter mode {mode!r}; expected one of {FilterMode.ALL}")
+        self.selectivity = selectivity
+        self.mode = mode
+        self._rng = rng
+        self._inputs_seen = 0
+        self._outputs_emitted = 0
+
+    def outputs_for_next_tuple(self) -> int:
+        """Number of output tuples produced by the next input tuple."""
+        self._inputs_seen += 1
+        if self.mode == FilterMode.EXPECTED:
+            target = math.floor(self._inputs_seen * self.selectivity + 1e-9)
+            count = max(target - self._outputs_emitted, 0)
+        else:
+            whole = math.floor(self.selectivity)
+            fraction = self.selectivity - whole
+            count = whole + (1 if self._rng.random() < fraction else 0)
+        self._outputs_emitted += count
+        return count
+
+
+@dataclass
+class _NodeCounters:
+    """Raw activity counters of a node, later turned into metrics."""
+
+    tuples_in: int = 0
+    tuples_out: int = 0
+    blocks_sent: int = 0
+    processing_time: float = 0.0
+    transfer_time: float = 0.0
+    first_activity: float | None = None
+    last_activity: float = 0.0
+
+    def record_activity(self, start: float, end: float) -> None:
+        if self.first_activity is None:
+            self.first_activity = start
+        self.last_activity = max(self.last_activity, end)
+
+    @property
+    def busy_time(self) -> float:
+        return self.processing_time + self.transfer_time
+
+
+class SinkNode:
+    """Collects result tuples at the query consumer."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self._simulator = simulator
+        self.arrival_times: list[float] = []
+        self.latencies: list[float] = []
+        self.completed_at: float | None = None
+        self.tuples_received = 0
+
+    def receive(self, item: Block | EndOfStream) -> None:
+        """Accept a block of result tuples or the end-of-stream marker."""
+        now = self._simulator.now
+        if isinstance(item, EndOfStream):
+            self.completed_at = now
+            return
+        for data_tuple in item.tuples:
+            self.tuples_received += 1
+            self.arrival_times.append(now)
+            self.latencies.append(now - data_tuple.created_at)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the end-of-stream marker has arrived."""
+        return self.completed_at is not None
+
+
+class ServiceNode:
+    """A single service of the pipeline, running on its own host."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        service: Service,
+        service_index: int,
+        downstream: "ServiceNode | SinkNode",
+        transfer_cost: float,
+        block_size: int = 1,
+        filter_mode: str = FilterMode.EXPECTED,
+        rng: random.Random | None = None,
+    ) -> None:
+        if block_size < 1:
+            raise SimulationError(f"block_size must be at least 1, got {block_size!r}")
+        if transfer_cost < 0:
+            raise SimulationError(f"transfer_cost must be non-negative, got {transfer_cost!r}")
+        self._simulator = simulator
+        self.service = service
+        self.service_index = service_index
+        self.downstream = downstream
+        self.transfer_cost = transfer_cost
+        self.block_size = block_size
+        self.counters = _NodeCounters()
+        self._policy = FilterPolicy(
+            service.selectivity, filter_mode, rng if rng is not None else random.Random(0)
+        )
+        self._queue: deque[DataTuple] = deque()
+        self._output_buffer: list[DataTuple] = []
+        self._busy_threads = 0
+        self._eos_received = False
+        self._eos_forwarded = False
+        self._output_sequence = 0
+
+    # -- receiving ------------------------------------------------------------
+
+    def receive(self, item: Block | EndOfStream) -> None:
+        """Accept a block from upstream (or the end-of-stream marker)."""
+        if isinstance(item, EndOfStream):
+            self._eos_received = True
+        else:
+            self._queue.extend(item.tuples)
+            self.counters.tuples_in += len(item.tuples)
+        self._dispatch()
+
+    # -- processing loop ---------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Start work on queued tuples, or shut down when the stream has ended."""
+        while self._busy_threads < self.service.threads and self._queue:
+            data_tuple = self._queue.popleft()
+            self._busy_threads += 1
+            start = self._simulator.now
+            cost = self.service.cost
+            self.counters.processing_time += cost
+            self.counters.record_activity(start, start + cost)
+            self._simulator.schedule_in(
+                cost,
+                lambda t=data_tuple: self._finish_processing(t),
+                label=f"{self.service.name}:process",
+            )
+        self._maybe_finish_stream()
+
+    def _finish_processing(self, data_tuple: DataTuple) -> None:
+        """The thread finished the compute part of one tuple; emit its outputs."""
+        outputs = self._policy.outputs_for_next_tuple()
+        for copy in range(outputs):
+            self._output_sequence += 1
+            self._output_buffer.append(
+                DataTuple(
+                    identifier=data_tuple.identifier,
+                    created_at=data_tuple.created_at,
+                    payload=data_tuple.payload,
+                )
+            )
+        if len(self._output_buffer) >= self.block_size:
+            self._send_block(release_thread=True)
+        else:
+            self._release_thread()
+
+    def _send_block(self, release_thread: bool) -> None:
+        """Ship the buffered block downstream, occupying the thread for the transfer."""
+        block = Block(tuple(self._output_buffer))
+        self._output_buffer = []
+        duration = self.transfer_cost * len(block)
+        start = self._simulator.now
+        self.counters.transfer_time += duration
+        self.counters.tuples_out += len(block)
+        self.counters.blocks_sent += 1
+        self.counters.record_activity(start, start + duration)
+        self._simulator.schedule_in(
+            duration,
+            lambda b=block, release=release_thread: self._finish_send(b, release),
+            label=f"{self.service.name}:send",
+        )
+
+    def _finish_send(self, block: Block, release_thread: bool) -> None:
+        """Block arrived downstream; hand it over and free the thread."""
+        self.downstream.receive(block)
+        if release_thread:
+            self._release_thread()
+        else:
+            self._maybe_finish_stream()
+
+    def _release_thread(self) -> None:
+        if self._busy_threads <= 0:
+            raise SimulationError(f"{self.service.name}: thread released more often than acquired")
+        self._busy_threads -= 1
+        self._dispatch()
+
+    def _maybe_finish_stream(self) -> None:
+        """Flush the last partial block and forward end-of-stream when drained."""
+        if (
+            not self._eos_received
+            or self._eos_forwarded
+            or self._queue
+            or self._busy_threads > 0
+        ):
+            return
+        if self._output_buffer:
+            # Flush the partial block; EOS follows once the transfer completes.
+            self._busy_threads += 1
+            self._send_block(release_thread=True)
+            return
+        self._eos_forwarded = True
+        emitted = self.counters.tuples_out
+        self._simulator.schedule_in(
+            0.0,
+            lambda: self.downstream.receive(EndOfStream(emitted)),
+            label=f"{self.service.name}:eos",
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Ratio of emitted to received tuples so far."""
+        if self.counters.tuples_in == 0:
+            return 0.0
+        return self.counters.tuples_out / self.counters.tuples_in
+
+    @property
+    def busy_time(self) -> float:
+        """Total time the node's threads spent processing or shipping tuples."""
+        return self.counters.busy_time
+
+
+class SourceNode:
+    """Emits the query's input tuples into the first service of the plan."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        downstream: ServiceNode | SinkNode,
+        tuple_count: int,
+        block_size: int = 1,
+        interarrival: float = 0.0,
+    ) -> None:
+        if tuple_count < 0:
+            raise SimulationError(f"tuple_count must be non-negative, got {tuple_count!r}")
+        if interarrival < 0:
+            raise SimulationError(f"interarrival must be non-negative, got {interarrival!r}")
+        self._simulator = simulator
+        self.downstream = downstream
+        self.tuple_count = tuple_count
+        self.block_size = max(1, block_size)
+        self.interarrival = interarrival
+        self.emitted = 0
+
+    def start(self) -> None:
+        """Schedule the emission of every input block and the end-of-stream marker."""
+        emission_time = 0.0
+        block: list[DataTuple] = []
+        for identifier in range(self.tuple_count):
+            block.append(DataTuple(identifier=identifier, created_at=emission_time))
+            last = identifier == self.tuple_count - 1
+            if len(block) >= self.block_size or last:
+                ready = Block(tuple(block))
+                block = []
+                self._simulator.schedule(
+                    emission_time,
+                    lambda b=ready: self._emit(b),
+                    label="source:emit",
+                )
+            emission_time += self.interarrival
+        eos_time = emission_time if self.tuple_count else 0.0
+        self._simulator.schedule(
+            eos_time,
+            lambda: self.downstream.receive(EndOfStream(self.tuple_count)),
+            label="source:eos",
+        )
+
+    def _emit(self, block: Block) -> None:
+        self.emitted += len(block)
+        self.downstream.receive(block)

@@ -1,0 +1,81 @@
+"""Event primitives of the discrete-event simulator.
+
+The simulator is a classic event-calendar design: every state change is an
+:class:`Event` with a firing time and a callback; the :class:`EventQueue`
+delivers events in time order, breaking ties by scheduling order so that runs
+are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, sequence)``; the sequence number is assigned by
+    the queue and guarantees FIFO behaviour among simultaneous events.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+
+    def schedule(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Add an event firing at absolute ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time!r}")
+        event = Event(time=time, sequence=self._sequence, callback=callback, label=label)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the next non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Firing time of the next non-cancelled event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+
+# Convenience alias used in type annotations of entity callbacks.
+Callback = Callable[..., Any]

@@ -1,0 +1,157 @@
+"""Metrics extracted from a simulated pipeline run.
+
+The report is deliberately close to what the analytical model predicts so that
+experiment E7 can compare the two: per-service busy time per input tuple
+(should converge to ``c_i + σ_i * t_{i,next}``), the observed bottleneck
+service, and the normalised makespan (should converge to the bottleneck cost
+metric of Eq. 1 for long streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import Table
+
+__all__ = ["ServiceMetrics", "SimulationReport"]
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Activity summary of one service during a simulated run."""
+
+    service_index: int
+    name: str
+    position: int
+    tuples_in: int
+    tuples_out: int
+    blocks_sent: int
+    processing_time: float
+    transfer_time: float
+
+    @property
+    def busy_time(self) -> float:
+        """Total thread-busy time (processing + shipping)."""
+        return self.processing_time + self.transfer_time
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Emitted / received tuples (0 when the service received nothing)."""
+        if self.tuples_in == 0:
+            return 0.0
+        return self.tuples_out / self.tuples_in
+
+    @property
+    def busy_per_input_tuple(self) -> float:
+        """Busy time per received tuple — the simulated analogue of ``c_i + σ_i t``."""
+        if self.tuples_in == 0:
+            return 0.0
+        return self.busy_time / self.tuples_in
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of the run the service's threads were busy."""
+        if makespan <= 0:
+            return 0.0
+        return min(self.busy_time / makespan, 1.0)
+
+
+@dataclass
+class SimulationReport:
+    """The outcome of simulating one plan on one workload."""
+
+    order: tuple[int, ...]
+    """The simulated plan (service indices in execution order)."""
+
+    tuple_count: int
+    """Number of tuples emitted by the source."""
+
+    tuples_delivered: int
+    """Number of tuples that reached the sink."""
+
+    makespan: float
+    """Virtual time between the start of the run and the sink's end-of-stream."""
+
+    predicted_cost: float
+    """The analytic bottleneck cost (Eq. 1) of the simulated plan."""
+
+    predicted_bottleneck_position: int
+    """Plan position the cost model designates as the bottleneck."""
+
+    observed_bottleneck_position: int
+    """Plan position with the largest simulated busy time per source tuple."""
+
+    events_processed: int
+    """Number of discrete events the simulator executed."""
+
+    services: list[ServiceMetrics] = field(default_factory=list)
+    """Per-service activity, in plan order."""
+
+    mean_tuple_latency: float = 0.0
+    """Average source-to-sink latency of delivered tuples."""
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def normalized_makespan(self) -> float:
+        """Makespan per source tuple — converges to the bottleneck cost for long streams."""
+        if self.tuple_count == 0:
+            return 0.0
+        return self.makespan / self.tuple_count
+
+    @property
+    def throughput(self) -> float:
+        """Source tuples processed per unit of virtual time."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.tuple_count / self.makespan
+
+    @property
+    def model_relative_error(self) -> float:
+        """``|normalized_makespan - predicted_cost| / predicted_cost`` (0 when undefined)."""
+        if self.predicted_cost <= 0:
+            return 0.0
+        return abs(self.normalized_makespan - self.predicted_cost) / self.predicted_cost
+
+    @property
+    def bottleneck_matches_model(self) -> bool:
+        """Whether the simulated and predicted bottleneck stages coincide."""
+        return self.predicted_bottleneck_position == self.observed_bottleneck_position
+
+    def busy_per_source_tuple(self, position: int) -> float:
+        """Busy time of the service at ``position`` divided by the source tuple count."""
+        if self.tuple_count == 0:
+            return 0.0
+        return self.services[position].busy_time / self.tuple_count
+
+    # -- reporting -----------------------------------------------------------------
+
+    def to_table(self) -> Table:
+        """Tabular per-service view (used by the E7 bench and the examples)."""
+        table = Table(
+            ["position", "service", "in", "out", "busy", "busy/src tuple", "utilization"],
+            title="simulated pipeline",
+        )
+        for metrics in self.services:
+            table.add_row(
+                metrics.position,
+                metrics.name,
+                metrics.tuples_in,
+                metrics.tuples_out,
+                round(metrics.busy_time, 6),
+                round(self.busy_per_source_tuple(metrics.position), 6),
+                round(metrics.utilization(self.makespan), 4),
+            )
+        return table
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"Simulated {self.tuple_count} tuples through {len(self.services)} services",
+            f"  makespan: {self.makespan:.6g} (normalized {self.normalized_makespan:.6g})",
+            f"  predicted bottleneck cost: {self.predicted_cost:.6g} "
+            f"(relative error {self.model_relative_error:.2%})",
+            f"  bottleneck position: predicted {self.predicted_bottleneck_position}, "
+            f"observed {self.observed_bottleneck_position}",
+            f"  delivered tuples: {self.tuples_delivered}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Data units flowing through the simulated pipeline.
+
+Tuples travel individually or grouped into blocks; the end of the stream is
+signalled by an explicit end-of-stream marker so that every service knows when
+to flush its partially filled output block and shut down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DataTuple", "Block", "EndOfStream"]
+
+
+@dataclass(frozen=True)
+class DataTuple:
+    """A single data tuple.
+
+    ``identifier`` is unique per source tuple; ``created_at`` is the virtual
+    time at which the source emitted it, which the sink uses to derive
+    per-tuple latency statistics.
+    """
+
+    identifier: int
+    created_at: float
+    payload: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A batch of tuples shipped over one link transfer."""
+
+    tuples: tuple[DataTuple, ...]
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+@dataclass(frozen=True)
+class EndOfStream:
+    """Marker propagated through the pipeline after the last tuple.
+
+    ``emitted`` counts the tuples the upstream stage produced in total, which
+    downstream stages use for consistency checks.
+    """
+
+    emitted: int

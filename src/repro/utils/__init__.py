@@ -1,0 +1,27 @@
+"""Shared utilities: seeded RNG helpers, timers, table rendering, validation."""
+
+from repro.utils.rng import SeedSequence, derive_rng, spawn_seeds
+from repro.utils.timing import Stopwatch, format_duration
+from repro.utils.tables import Table, format_markdown_table
+from repro.utils.validation import (
+    require,
+    require_finite,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "SeedSequence",
+    "derive_rng",
+    "spawn_seeds",
+    "Stopwatch",
+    "format_duration",
+    "Table",
+    "format_markdown_table",
+    "require",
+    "require_finite",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,106 @@
+"""Lightweight tabular output used by the experiment harness.
+
+The benchmark harness prints the rows a paper table would contain.  The
+:class:`Table` helper keeps column alignment readable both on a terminal and
+when pasted into ``EXPERIMENTS.md`` as GitHub-flavoured markdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_markdown_table"]
+
+
+def _render_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_format: str = ".4g",
+) -> str:
+    """Render ``headers``/``rows`` as a GitHub-flavoured markdown table."""
+    rendered_rows = [[_render_cell(cell, float_format) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: {row!r}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+    parts = [line(list(headers)), separator]
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+@dataclass
+class Table:
+    """An append-only table of experiment rows.
+
+    Example
+    -------
+    >>> table = Table(["n", "cost"], title="demo")
+    >>> table.add_row(n=3, cost=1.5)
+    >>> print(table.to_markdown())  # doctest: +NORMALIZE_WHITESPACE
+    | n | cost |
+    |---|------|
+    | 3 | 1.5  |
+    """
+
+    headers: list[str]
+    title: str = ""
+    float_format: str = ".4g"
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row, either positionally or by header name."""
+        if values and named:
+            raise ValueError("pass either positional values or keyword values, not both")
+        if named:
+            missing = [header for header in self.headers if header not in named]
+            if missing:
+                raise ValueError(f"missing values for columns {missing}")
+            unknown = [name for name in named if name not in self.headers]
+            if unknown:
+                raise ValueError(f"unknown columns {unknown}")
+            row = [named[header] for header in self.headers]
+        else:
+            if len(values) != len(self.headers):
+                raise ValueError(
+                    f"expected {len(self.headers)} values, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def column(self, header: str) -> list[Any]:
+        """Return all values of the named column."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """Render the table (with its title, when set) as markdown."""
+        body = format_markdown_table(self.headers, self.rows, self.float_format)
+        if self.title:
+            return f"### {self.title}\n\n{body}"
+        return body
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Return the rows as dictionaries keyed by header."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)

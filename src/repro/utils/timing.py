@@ -1,0 +1,79 @@
+"""Small timing helpers used by optimizers and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_duration"]
+
+
+@dataclass
+class Stopwatch:
+    """A restartable wall-clock stopwatch based on :func:`time.perf_counter`.
+
+    The optimizers use it both to report elapsed time in their statistics and
+    to enforce optional time limits.
+    """
+
+    _start: float | None = field(default=None, repr=False)
+    _accumulated: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch and return ``self`` for chaining."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total elapsed seconds so far."""
+        if self._start is not None:
+            self._accumulated += time.perf_counter() - self._start
+            self._start = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        """Reset the stopwatch to zero and stop it."""
+        self._start = None
+        self._accumulated = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds, including the in-flight interval when running."""
+        total = self._accumulated
+        if self._start is not None:
+            total += time.perf_counter() - self._start
+        return total
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration for human-readable experiment reports.
+
+    >>> format_duration(0.00042)
+    '0.42 ms'
+    >>> format_duration(3.5)
+    '3.50 s'
+    >>> format_duration(125)
+    '2 min 5.0 s'
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f} s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)} min {rest:.1f} s"

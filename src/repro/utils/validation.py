@@ -1,0 +1,63 @@
+"""Argument-validation helpers shared across the package.
+
+These helpers keep validation messages uniform and make the preconditions of
+public constructors explicit and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NoReturn
+
+__all__ = [
+    "require",
+    "require_finite",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]
+
+
+def _fail(message: str, exception: type[Exception]) -> NoReturn:
+    raise exception(message)
+
+
+def require(condition: bool, message: str, exception: type[Exception] = ValueError) -> None:
+    """Raise ``exception`` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        _fail(message, exception)
+
+
+def require_finite(value: float, name: str, exception: type[Exception] = ValueError) -> float:
+    """Validate that ``value`` is a finite real number and return it as ``float``."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        _fail(f"{name} must be a real number, got {value!r}", exception)
+    if not math.isfinite(value):
+        _fail(f"{name} must be finite, got {value!r}", exception)
+    return value
+
+
+def require_non_negative(value: float, name: str, exception: type[Exception] = ValueError) -> float:
+    """Validate that ``value`` is finite and ``>= 0`` and return it as ``float``."""
+    value = require_finite(value, name, exception)
+    if value < 0:
+        _fail(f"{name} must be non-negative, got {value!r}", exception)
+    return value
+
+
+def require_positive(value: float, name: str, exception: type[Exception] = ValueError) -> float:
+    """Validate that ``value`` is finite and ``> 0`` and return it as ``float``."""
+    value = require_finite(value, name, exception)
+    if value <= 0:
+        _fail(f"{name} must be positive, got {value!r}", exception)
+    return value
+
+
+def require_probability(value: float, name: str, exception: type[Exception] = ValueError) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as ``float``."""
+    value = require_finite(value, name, exception)
+    if not 0.0 <= value <= 1.0:
+        _fail(f"{name} must lie in [0, 1], got {value!r}", exception)
+    return value

@@ -1,0 +1,20 @@
+"""Declarative query layer: descriptors, queries, parser, planner, choreography."""
+
+from repro.workflow.choreography import CLIENT, Choreography, RoutingInstruction, build_choreography
+from repro.workflow.descriptor import ServiceCatalog, ServiceDescriptor
+from repro.workflow.parser import parse_query
+from repro.workflow.planner import PlannedQuery, QueryPlanner
+from repro.workflow.query import ServiceQuery
+
+__all__ = [
+    "CLIENT",
+    "Choreography",
+    "PlannedQuery",
+    "QueryPlanner",
+    "RoutingInstruction",
+    "ServiceCatalog",
+    "ServiceDescriptor",
+    "ServiceQuery",
+    "build_choreography",
+    "parse_query",
+]

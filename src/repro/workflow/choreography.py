@@ -1,0 +1,110 @@
+"""Choreography: turning an optimized plan into per-service routing rules.
+
+In the decentralized execution model each service ships its output directly to
+the next service of the plan — there is no central mediator at run time.  What
+*is* distributed ahead of time is a small routing instruction per service:
+"receive from X, process, forward survivors to Y in blocks of B".  This module
+derives those instructions from an optimized plan, which is exactly what the
+query planner hands to a deployment layer (or, in this reproduction, to the
+simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import Plan
+
+__all__ = ["RoutingInstruction", "Choreography", "build_choreography"]
+
+CLIENT = "@client"
+"""Pseudo-endpoint denoting the query client/consumer."""
+
+
+@dataclass(frozen=True)
+class RoutingInstruction:
+    """The routing rule installed on one service before execution starts."""
+
+    service: str
+    """Name of the service the instruction is for."""
+
+    host: str | None
+    """Host the service runs on (informational)."""
+
+    position: int
+    """Position of the service in the plan (0-based)."""
+
+    receive_from: str
+    """Name of the upstream service, or :data:`CLIENT` for the first stage."""
+
+    forward_to: str
+    """Name of the downstream service, or :data:`CLIENT` for the last stage."""
+
+    transfer_cost: float
+    """Per-tuple cost of the outgoing hop (0 for the final hop unless a sink cost is modelled)."""
+
+    block_size: int
+    """Number of tuples per shipped block."""
+
+
+@dataclass(frozen=True)
+class Choreography:
+    """The full set of routing instructions realising one plan."""
+
+    plan: Plan
+    instructions: tuple[RoutingInstruction, ...]
+    block_size: int
+
+    @property
+    def expected_bottleneck_cost(self) -> float:
+        """The analytic bottleneck cost of the underlying plan."""
+        return self.plan.cost
+
+    def instruction_for(self, service_name: str) -> RoutingInstruction:
+        """The instruction installed on ``service_name``."""
+        for instruction in self.instructions:
+            if instruction.service == service_name:
+                return instruction
+        raise KeyError(f"service {service_name!r} is not part of the choreography")
+
+    def describe(self) -> str:
+        """Human-readable routing table (what an operator would deploy)."""
+        lines = [f"Choreography for plan {self.plan} (block size {self.block_size}):"]
+        for instruction in self.instructions:
+            lines.append(
+                f"  [{instruction.position}] {instruction.service:<20} "
+                f"recv<-{instruction.receive_from:<20} send->{instruction.forward_to:<20} "
+                f"t={instruction.transfer_cost:.4g}"
+            )
+        return "\n".join(lines)
+
+
+def build_choreography(plan: Plan, block_size: int = 1) -> Choreography:
+    """Derive the per-service routing instructions realising ``plan``."""
+    if block_size < 1:
+        raise ValueError("block_size must be at least 1")
+    problem = plan.problem
+    order = plan.order
+    instructions: list[RoutingInstruction] = []
+    for position, service_index in enumerate(order):
+        service = problem.service(service_index)
+        receive_from = CLIENT if position == 0 else problem.service(order[position - 1]).name
+        if position + 1 < len(order):
+            next_index = order[position + 1]
+            forward_to = problem.service(next_index).name
+            transfer_cost = problem.transfer_cost(service_index, next_index)
+        else:
+            forward_to = CLIENT
+            transfer_cost = problem.sink_cost(service_index)
+        instructions.append(
+            RoutingInstruction(
+                service=service.name,
+                host=service.host,
+                position=position,
+                receive_from=receive_from,
+                forward_to=forward_to,
+                transfer_cost=transfer_cost,
+                block_size=block_size,
+            )
+        )
+    return Choreography(plan=plan, instructions=tuple(instructions), block_size=block_size)

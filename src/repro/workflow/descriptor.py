@@ -1,0 +1,88 @@
+"""Service descriptors: the catalogue a query planner works from.
+
+A :class:`ServiceDescriptor` is the planner-facing description of a deployed
+Web Service: where it runs, what attributes it consumes and produces, and the
+current estimates of its cost and selectivity (typically produced by
+:mod:`repro.estimation`).  A :class:`ServiceCatalog` is the registry the
+declarative query layer resolves service references against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.service import Service
+from repro.exceptions import QueryError
+
+__all__ = ["ServiceDescriptor", "ServiceCatalog"]
+
+
+@dataclass(frozen=True)
+class ServiceDescriptor:
+    """Planner-facing description of one deployed service."""
+
+    name: str
+    host: str
+    cost: float
+    selectivity: float
+    consumes: frozenset[str] = field(default_factory=frozenset)
+    """Attributes the service needs to be present in its input tuples."""
+
+    produces: frozenset[str] = field(default_factory=frozenset)
+    """Attributes the service adds to the tuples it emits."""
+
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("a service descriptor needs a non-empty name")
+        if not self.host:
+            raise QueryError(f"service {self.name!r} needs a host")
+        if self.cost < 0:
+            raise QueryError(f"service {self.name!r} has a negative cost estimate")
+        if self.selectivity <= 0:
+            raise QueryError(f"service {self.name!r} has a non-positive selectivity estimate")
+        object.__setattr__(self, "consumes", frozenset(self.consumes))
+        object.__setattr__(self, "produces", frozenset(self.produces))
+
+    def to_service(self) -> Service:
+        """Convert into the optimizer's :class:`repro.core.service.Service`."""
+        return Service(name=self.name, cost=self.cost, selectivity=self.selectivity, host=self.host)
+
+
+class ServiceCatalog:
+    """A name-indexed registry of service descriptors."""
+
+    def __init__(self, descriptors: Iterable[ServiceDescriptor] = ()) -> None:
+        self._descriptors: dict[str, ServiceDescriptor] = {}
+        for descriptor in descriptors:
+            self.register(descriptor)
+
+    def register(self, descriptor: ServiceDescriptor) -> None:
+        """Add a descriptor; duplicate names are rejected."""
+        if descriptor.name in self._descriptors:
+            raise QueryError(f"service {descriptor.name!r} is already registered")
+        self._descriptors[descriptor.name] = descriptor
+
+    def get(self, name: str) -> ServiceDescriptor:
+        """Look up a descriptor by name."""
+        try:
+            return self._descriptors[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown service {name!r}; registered: {sorted(self._descriptors)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """All registered names, in registration order."""
+        return list(self._descriptors)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._descriptors
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __iter__(self) -> Iterator[ServiceDescriptor]:
+        return iter(self._descriptors.values())

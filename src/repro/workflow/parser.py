@@ -1,0 +1,105 @@
+"""A tiny textual query language.
+
+WS-management systems expose an SQL-like interface for queries over services
+(the paper cites such systems as its motivation).  The reproduction ships a
+deliberately small language that covers the ordering problem's needs:
+
+.. code-block:: text
+
+    PROCESS persons
+    USING card_lookup, payment_history, fraud_score, geo_filter
+    WITH card_lookup BEFORE payment_history, decrypt BEFORE pii_scrubber
+    GIVEN person_id, region
+
+* ``PROCESS <source>`` names the input stream (required).
+* ``USING <s1>, <s2>, ...`` lists the services to apply (required).
+* ``WITH <a> BEFORE <b>, ...`` adds explicit precedence constraints (optional).
+* ``GIVEN <attr>, ...`` lists attributes already present on the source
+  (optional; used to resolve data-flow constraints).
+
+Keywords are case-insensitive; service and attribute names are
+case-sensitive identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import QueryError
+from repro.workflow.query import ServiceQuery
+
+__all__ = ["parse_query"]
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+_CLAUSE_PATTERN = re.compile(
+    r"^\s*PROCESS\s+(?P<source>\S+)"
+    r"\s+USING\s+(?P<services>.+?)"
+    r"(?:\s+WITH\s+(?P<precedence>.+?))?"
+    r"(?:\s+GIVEN\s+(?P<attributes>.+?))?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def _split_list(text: str, what: str) -> list[str]:
+    items = [item.strip() for item in text.split(",")]
+    items = [item for item in items if item]
+    if not items:
+        raise QueryError(f"empty {what} list in query")
+    for item in items:
+        if not _IDENTIFIER.match(item):
+            raise QueryError(f"invalid {what} name {item!r}")
+    return items
+
+
+def _parse_precedence(text: str) -> list[tuple[str, str]]:
+    constraints: list[tuple[str, str]] = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = re.split(r"\s+BEFORE\s+", clause, flags=re.IGNORECASE)
+        if len(parts) != 2:
+            raise QueryError(
+                f"malformed precedence clause {clause!r}; expected '<service> BEFORE <service>'"
+            )
+        before, after = parts[0].strip(), parts[1].strip()
+        for name in (before, after):
+            if not _IDENTIFIER.match(name):
+                raise QueryError(f"invalid service name {name!r} in precedence clause")
+        constraints.append((before, after))
+    if not constraints:
+        raise QueryError("WITH clause present but no precedence constraints found")
+    return constraints
+
+
+def parse_query(text: str) -> ServiceQuery:
+    """Parse the textual query language into a :class:`ServiceQuery`.
+
+    Raises :class:`repro.exceptions.QueryError` with a pointed message for
+    every malformed input.
+    """
+    if not text or not text.strip():
+        raise QueryError("empty query text")
+    normalized = " ".join(text.split())
+    match = _CLAUSE_PATTERN.match(normalized)
+    if match is None:
+        raise QueryError(
+            "could not parse query; expected "
+            "'PROCESS <source> USING <services> [WITH <a> BEFORE <b>, ...] [GIVEN <attrs>]'"
+        )
+    source = match.group("source")
+    if not _IDENTIFIER.match(source):
+        raise QueryError(f"invalid source name {source!r}")
+    services = _split_list(match.group("services"), "service")
+    precedence: list[tuple[str, str]] = []
+    if match.group("precedence"):
+        precedence = _parse_precedence(match.group("precedence"))
+    attributes: list[str] = []
+    if match.group("attributes"):
+        attributes = _split_list(match.group("attributes"), "attribute")
+    return ServiceQuery(
+        source=source,
+        services=tuple(services),
+        explicit_precedence=tuple(precedence),
+        input_attributes=frozenset(attributes),
+    )

@@ -1,0 +1,112 @@
+"""The query planner: from a declarative query to an executable choreography.
+
+The planner glues the substrates together exactly the way a WS-management
+system would:
+
+1. resolve the query's service references against a :class:`ServiceCatalog`,
+2. derive precedence constraints (explicit clauses + attribute data-flow),
+3. derive the pairwise transfer-cost matrix from the network topology and the
+   services' hosts,
+4. hand the resulting :class:`OrderingProblem` to an optimizer
+   (branch-and-bound by default), and
+5. emit the :class:`Choreography` that realises the optimal plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import CommunicationCostMatrix
+from repro.core.optimizer import optimize
+from repro.core.precedence import PrecedenceGraph
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult
+from repro.network.matrix import matrix_from_topology
+from repro.network.topology import NetworkTopology
+from repro.workflow.choreography import Choreography, build_choreography
+from repro.workflow.descriptor import ServiceCatalog
+from repro.workflow.query import ServiceQuery
+
+__all__ = ["PlannedQuery", "QueryPlanner"]
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """Everything the planner produced for one query."""
+
+    query: ServiceQuery
+    problem: OrderingProblem
+    result: OptimizationResult
+    choreography: Choreography
+
+    @property
+    def expected_response_time_per_tuple(self) -> float:
+        """The bottleneck cost of the chosen plan (Eq. 1)."""
+        return self.result.cost
+
+    def describe(self) -> str:
+        """Multi-line report: query, chosen order and routing table."""
+        return "\n".join(
+            [
+                self.query.describe(),
+                self.result.describe(),
+                self.choreography.describe(),
+            ]
+        )
+
+
+class QueryPlanner:
+    """Plans declarative queries over a service catalogue and a network topology."""
+
+    def __init__(
+        self,
+        catalog: ServiceCatalog,
+        topology: NetworkTopology,
+        tuple_size: float = 1024.0,
+        block_size: int = 1,
+        algorithm: str = "branch_and_bound",
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        self.catalog = catalog
+        self.topology = topology
+        self.tuple_size = tuple_size
+        self.block_size = block_size
+        self.algorithm = algorithm
+
+    # -- problem construction ---------------------------------------------------
+
+    def build_problem(self, query: ServiceQuery) -> OrderingProblem:
+        """Lower ``query`` to an :class:`OrderingProblem` (without optimizing it)."""
+        descriptors = [self.catalog.get(name) for name in query.services]
+        services = [descriptor.to_service() for descriptor in descriptors]
+        placement = [descriptor.host for descriptor in descriptors]
+        transfer: CommunicationCostMatrix = matrix_from_topology(
+            self.topology, placement, tuple_size=self.tuple_size, block_size=self.block_size
+        )
+
+        name_to_index = {descriptor.name: index for index, descriptor in enumerate(descriptors)}
+        constraints = query.resolve_precedence(self.catalog)
+        precedence: PrecedenceGraph | None = None
+        if constraints:
+            precedence = PrecedenceGraph(len(services))
+            for before, after in constraints:
+                precedence.add(name_to_index[before], name_to_index[after])
+
+        return OrderingProblem(
+            services,
+            transfer,
+            precedence=precedence,
+            name=f"query-{query.source}",
+        )
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(self, query: ServiceQuery, **optimizer_options: object) -> PlannedQuery:
+        """Plan ``query``: optimize the service order and emit its choreography."""
+        problem = self.build_problem(query)
+        result = optimize(problem, algorithm=self.algorithm, **optimizer_options)
+        choreography = build_choreography(result.plan, block_size=self.block_size)
+        return PlannedQuery(
+            query=query, problem=problem, result=result, choreography=choreography
+        )

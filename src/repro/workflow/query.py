@@ -1,0 +1,92 @@
+"""Declarative queries over services.
+
+A :class:`ServiceQuery` states *which* services must process the input stream
+and which ordering constraints exist; it does not state the order — finding
+the response-time-optimal order is the optimizer's job.  Constraints arise in
+two ways:
+
+* explicitly (``A BEFORE B`` clauses), and
+* implicitly from attribute data-flow: if ``B`` consumes an attribute only
+  ``A`` produces, ``A`` must precede ``B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.workflow.descriptor import ServiceCatalog
+
+__all__ = ["ServiceQuery"]
+
+
+@dataclass(frozen=True)
+class ServiceQuery:
+    """A query: apply a set of services to a tuple source, in any valid order."""
+
+    source: str
+    """Name of the input stream (documentation only; not optimized over)."""
+
+    services: tuple[str, ...]
+    """Names of the services that must be applied."""
+
+    explicit_precedence: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    """Explicit ``(before, after)`` constraints from the query text."""
+
+    input_attributes: frozenset[str] = field(default_factory=frozenset)
+    """Attributes present on the source tuples (available to every service)."""
+
+    def __post_init__(self) -> None:
+        if not self.source:
+            raise QueryError("a query needs a source name")
+        if not self.services:
+            raise QueryError("a query must call at least one service")
+        if len(set(self.services)) != len(self.services):
+            raise QueryError(f"duplicate service references in query: {self.services!r}")
+        referenced = set(self.services)
+        for before, after in self.explicit_precedence:
+            if before not in referenced or after not in referenced:
+                raise QueryError(
+                    f"precedence clause ({before!r} BEFORE {after!r}) references a service "
+                    "that the query does not call"
+                )
+        object.__setattr__(self, "input_attributes", frozenset(self.input_attributes))
+
+    def resolve_precedence(self, catalog: ServiceCatalog) -> list[tuple[str, str]]:
+        """All ``(before, after)`` constraints: explicit plus attribute data-flow.
+
+        An attribute constraint ``A -> B`` is added when ``B`` consumes an
+        attribute that is not on the source and is produced (among the query's
+        services) only by ``A`` (or by several services — then each producer
+        must precede ``B``).
+        """
+        constraints: list[tuple[str, str]] = list(self.explicit_precedence)
+        producers: dict[str, list[str]] = {}
+        for name in self.services:
+            descriptor = catalog.get(name)
+            for attribute in descriptor.produces:
+                producers.setdefault(attribute, []).append(name)
+        for name in self.services:
+            descriptor = catalog.get(name)
+            for attribute in descriptor.consumes:
+                if attribute in self.input_attributes:
+                    continue
+                attribute_producers = [p for p in producers.get(attribute, []) if p != name]
+                if not attribute_producers:
+                    raise QueryError(
+                        f"service {name!r} consumes attribute {attribute!r}, which neither the "
+                        "source nor any other called service provides"
+                    )
+                for producer in attribute_producers:
+                    constraint = (producer, name)
+                    if constraint not in constraints:
+                        constraints.append(constraint)
+        return constraints
+
+    def describe(self) -> str:
+        """One-line summary used in example output."""
+        constraints = ", ".join(f"{b}<{a}" for b, a in self.explicit_precedence) or "none"
+        return (
+            f"Query over {self.source!r}: services={list(self.services)}, "
+            f"explicit precedence: {constraints}"
+        )

@@ -1,0 +1,160 @@
+"""Parameter distributions for synthetic workloads.
+
+The companion evaluation sweeps service costs, selectivities and transfer
+costs over ranges; these small distribution objects keep the workload
+generators declarative and the experiment configurations readable.  Every
+distribution is sampled from an explicitly passed :class:`random.Random`, so
+workloads are reproducible from their seed alone.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "LogUniform",
+    "Exponential",
+    "Normal",
+    "Mixture",
+    "Discrete",
+]
+
+
+@runtime_checkable
+class Distribution(Protocol):
+    """Anything that can draw one float from a random stream."""
+
+    def sample(self, rng: random.Random) -> float:  # pragma: no cover - protocol
+        """Draw one value."""
+        ...
+
+
+@dataclass(frozen=True)
+class Constant:
+    """Always returns ``value``."""
+
+    value: float
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise WorkloadError(f"Uniform requires low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class LogUniform:
+    """Log-uniform on ``[low, high]``; both bounds must be positive.
+
+    Useful for costs and transfer times that span orders of magnitude
+    (millisecond LAN hops vs hundred-millisecond WAN hops).
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high < self.low:
+            raise WorkloadError(
+                f"LogUniform requires 0 < low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        return math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential with the given mean (optionally shifted by ``offset``)."""
+
+    mean: float
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise WorkloadError(f"Exponential requires a positive mean, got {self.mean}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.offset + rng.expovariate(1.0 / self.mean)
+
+
+@dataclass(frozen=True)
+class Normal:
+    """Normal distribution truncated below at ``minimum`` (re-sampled)."""
+
+    mean: float
+    stddev: float
+    minimum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stddev < 0:
+            raise WorkloadError(f"Normal requires a non-negative stddev, got {self.stddev}")
+
+    def sample(self, rng: random.Random) -> float:
+        for _ in range(1000):
+            value = rng.gauss(self.mean, self.stddev)
+            if value >= self.minimum:
+                return value
+        # Degenerate configuration (mean far below minimum): clamp instead of looping forever.
+        return self.minimum
+
+
+@dataclass(frozen=True)
+class Mixture:
+    """Draw from one of two distributions with probability ``first_weight`` / ``1 - first_weight``.
+
+    Used e.g. for selectivity regimes mixing strong filters with proliferative
+    services (experiment E5).
+    """
+
+    first: Distribution
+    second: Distribution
+    first_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.first_weight <= 1.0:
+            raise WorkloadError(f"first_weight must lie in [0, 1], got {self.first_weight}")
+
+    def sample(self, rng: random.Random) -> float:
+        chosen = self.first if rng.random() < self.first_weight else self.second
+        return chosen.sample(rng)
+
+
+@dataclass(frozen=True)
+class Discrete:
+    """Draw from an explicit list of ``(value, weight)`` pairs."""
+
+    choices: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise WorkloadError("Discrete needs at least one choice")
+        if any(weight < 0 for _, weight in self.choices):
+            raise WorkloadError("Discrete weights must be non-negative")
+        if sum(weight for _, weight in self.choices) <= 0:
+            raise WorkloadError("Discrete weights must not all be zero")
+
+    def sample(self, rng: random.Random) -> float:
+        values = [value for value, _ in self.choices]
+        weights = [weight for _, weight in self.choices]
+        return rng.choices(values, weights=weights, k=1)[0]

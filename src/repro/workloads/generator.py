@@ -1,0 +1,127 @@
+"""Random problem-instance generators.
+
+A :class:`WorkloadSpec` describes a family of ordering problems (how many
+services, how their costs/selectivities/transfer costs are distributed, how
+much precedence structure they have); :func:`generate_problem` draws a
+concrete :class:`repro.core.problem.OrderingProblem` from the family, and
+:func:`generate_suite` draws a reproducible batch for an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.cost_model import CommunicationCostMatrix
+from repro.core.precedence import PrecedenceGraph
+from repro.core.problem import OrderingProblem
+from repro.core.service import Service
+from repro.exceptions import WorkloadError
+from repro.utils.rng import derive_rng
+from repro.workloads.distributions import Distribution, Uniform
+
+__all__ = ["WorkloadSpec", "generate_problem", "generate_suite"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A family of random ordering problems."""
+
+    service_count: int = 8
+    """Number of services ``N``."""
+
+    cost: Distribution = field(default_factory=lambda: Uniform(0.5, 5.0))
+    """Distribution of per-tuple processing costs ``c_i``."""
+
+    selectivity: Distribution = field(default_factory=lambda: Uniform(0.1, 1.0))
+    """Distribution of selectivities ``σ_i``."""
+
+    transfer: Distribution = field(default_factory=lambda: Uniform(0.1, 2.0))
+    """Distribution of per-tuple transfer costs ``t_{i,j}``."""
+
+    symmetric_transfer: bool = True
+    """Whether ``t_{i,j} = t_{j,i}`` (links with symmetric characteristics)."""
+
+    precedence_density: float = 0.0
+    """Probability that an (i < j) service pair is constrained ``i before j``
+    (0 = unconstrained, the paper's restricted setting)."""
+
+    sink_transfer: Distribution | None = None
+    """Optional distribution of per-tuple transfer costs to the consumer."""
+
+    name: str = "random"
+    """Prefix used for the generated problems' names."""
+
+    def __post_init__(self) -> None:
+        if self.service_count < 1:
+            raise WorkloadError(f"service_count must be positive, got {self.service_count}")
+        if not 0.0 <= self.precedence_density <= 1.0:
+            raise WorkloadError(
+                f"precedence_density must lie in [0, 1], got {self.precedence_density}"
+            )
+
+    def with_service_count(self, service_count: int) -> "WorkloadSpec":
+        """Copy of the spec with a different number of services (scaling sweeps)."""
+        return replace(self, service_count=service_count)
+
+
+def generate_problem(spec: WorkloadSpec, seed: int = 0) -> OrderingProblem:
+    """Draw one concrete ordering problem from ``spec``.
+
+    The same ``(spec, seed)`` pair always produces the same problem.
+    """
+    size = spec.service_count
+    cost_rng = derive_rng(seed, spec.name, "cost")
+    selectivity_rng = derive_rng(seed, spec.name, "selectivity")
+    transfer_rng = derive_rng(seed, spec.name, "transfer")
+    precedence_rng = derive_rng(seed, spec.name, "precedence")
+    sink_rng = derive_rng(seed, spec.name, "sink")
+
+    services = [
+        Service(
+            name=f"WS{index}",
+            cost=max(spec.cost.sample(cost_rng), 0.0),
+            selectivity=max(spec.selectivity.sample(selectivity_rng), 1e-6),
+            host=f"host{index}",
+        )
+        for index in range(size)
+    ]
+
+    rows = [[0.0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(size):
+            if i == j:
+                continue
+            if spec.symmetric_transfer and j < i:
+                rows[i][j] = rows[j][i]
+            else:
+                rows[i][j] = max(spec.transfer.sample(transfer_rng), 0.0)
+    transfer = CommunicationCostMatrix(rows)
+
+    precedence: PrecedenceGraph | None = None
+    if spec.precedence_density > 0.0 and size > 1:
+        precedence = PrecedenceGraph(size)
+        for i in range(size):
+            for j in range(i + 1, size):
+                if precedence_rng.random() < spec.precedence_density:
+                    precedence.add(i, j)
+        if not precedence.has_constraints:
+            precedence = None
+
+    sink_transfer = None
+    if spec.sink_transfer is not None:
+        sink_transfer = [max(spec.sink_transfer.sample(sink_rng), 0.0) for _ in range(size)]
+
+    return OrderingProblem(
+        services,
+        transfer,
+        precedence=precedence,
+        sink_transfer=sink_transfer,
+        name=f"{spec.name}-n{size}-seed{seed}",
+    )
+
+
+def generate_suite(spec: WorkloadSpec, count: int, seed: int = 0) -> list[OrderingProblem]:
+    """Draw ``count`` independent problems from ``spec`` (seeds derived from ``seed``)."""
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    return [generate_problem(spec, seed=seed * 10_000 + index) for index in range(count)]

@@ -1,0 +1,132 @@
+"""Named scenarios used by the examples, tests and experiments.
+
+The scenarios are modelled on the motivation of the paper (and of Srivastava
+et al.): pipelines of filtering Web Services distributed over wide-area hosts,
+where calling order is flexible but response time depends heavily on it.
+
+* :func:`credit_card_screening` — the introduction's running example: person
+  identifiers flow through a card-number lookup (proliferative), a payment
+  -history filter, a fraud-score filter and a geographic filter, hosted in two
+  data centres.
+* :func:`sensor_quality_pipeline` — a sensor-network cleaning pipeline of
+  cheap, highly selective filters on edge hosts plus an expensive calibration
+  service in the cloud.
+* :func:`federated_document_pipeline` — document enrichment across three
+  providers with strongly asymmetric transfer costs and one precedence
+  constraint (decryption before content inspection).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import CommunicationCostMatrix
+from repro.core.precedence import PrecedenceGraph
+from repro.core.problem import OrderingProblem
+from repro.core.service import Service
+
+__all__ = [
+    "credit_card_screening",
+    "sensor_quality_pipeline",
+    "federated_document_pipeline",
+    "all_scenarios",
+]
+
+
+def credit_card_screening() -> OrderingProblem:
+    """The paper's motivating example: screening potential customers.
+
+    Services (per-tuple costs in milliseconds):
+
+    * ``card_lookup`` — person id -> list of credit-card numbers (σ > 1),
+    * ``payment_history`` — keeps only customers with a good payment history,
+    * ``fraud_score`` — keeps only low-risk customers,
+    * ``geo_filter`` — keeps only customers in the serviced region.
+
+    The lookup and history services live in one data centre, the fraud and geo
+    services in another; intra-DC transfers are cheap, inter-DC transfers are
+    an order of magnitude more expensive.
+    """
+    services = [
+        Service("card_lookup", cost=4.0, selectivity=1.8, host="dc-east-1"),
+        Service("payment_history", cost=6.0, selectivity=0.45, host="dc-east-2"),
+        Service("fraud_score", cost=9.0, selectivity=0.30, host="dc-west-1"),
+        Service("geo_filter", cost=2.0, selectivity=0.55, host="dc-west-2"),
+    ]
+    hosts = [service.host for service in services]
+    assert all(host is not None for host in hosts)
+    inter_dc = 12.0
+    intra_dc = 1.5
+
+    def host_cost(i: int, j: int) -> float:
+        same_dc = hosts[i].split("-")[1] == hosts[j].split("-")[1]  # type: ignore[union-attr]
+        return intra_dc if same_dc else inter_dc
+
+    transfer = CommunicationCostMatrix.from_function(len(services), host_cost)
+    return OrderingProblem(services, transfer, name="credit-card-screening")
+
+
+def sensor_quality_pipeline() -> OrderingProblem:
+    """Edge/cloud sensor-data cleaning pipeline (all services selective)."""
+    services = [
+        Service("range_check", cost=0.4, selectivity=0.95, host="edge-a"),
+        Service("dedup", cost=0.8, selectivity=0.70, host="edge-b"),
+        Service("outlier_filter", cost=1.5, selectivity=0.60, host="edge-c"),
+        Service("calibration", cost=6.0, selectivity=0.98, host="cloud-1"),
+        Service("anomaly_model", cost=9.0, selectivity=0.25, host="cloud-2"),
+        Service("compliance_tag", cost=0.9, selectivity=1.0, host="edge-d"),
+    ]
+    edge_hosts = {"edge-a", "edge-b", "edge-c", "edge-d"}
+
+    def host_cost(i: int, j: int) -> float:
+        source_edge = services[i].host in edge_hosts
+        destination_edge = services[j].host in edge_hosts
+        if source_edge and destination_edge:
+            return 0.3
+        if source_edge != destination_edge:
+            return 5.0
+        return 0.8  # cloud to cloud
+
+    transfer = CommunicationCostMatrix.from_function(len(services), host_cost)
+    return OrderingProblem(services, transfer, name="sensor-quality-pipeline")
+
+
+def federated_document_pipeline() -> OrderingProblem:
+    """Document enrichment across three providers, with one precedence constraint.
+
+    The ``decrypt`` service must run before ``pii_scrubber`` and
+    ``content_classifier`` (they need plaintext).  Upload and download
+    bandwidths differ per provider, so the transfer matrix is asymmetric.
+    """
+    services = [
+        Service("decrypt", cost=2.5, selectivity=1.0, host="provider-a"),
+        Service("language_filter", cost=1.0, selectivity=0.5, host="provider-a"),
+        Service("pii_scrubber", cost=5.0, selectivity=0.9, host="provider-b"),
+        Service("content_classifier", cost=8.0, selectivity=0.35, host="provider-c"),
+        Service("summarizer", cost=12.0, selectivity=1.0, host="provider-c"),
+    ]
+    # Asymmetric per-tuple transfer costs (ms): provider-b has a slow uplink.
+    matrix = [
+        [0.0, 0.5, 6.0, 9.0, 9.0],
+        [0.5, 0.0, 6.0, 9.0, 9.0],
+        [10.0, 10.0, 0.0, 14.0, 14.0],
+        [8.0, 8.0, 12.0, 0.0, 0.4],
+        [8.0, 8.0, 12.0, 0.4, 0.0],
+    ]
+    precedence = PrecedenceGraph(len(services))
+    precedence.add(0, 2)  # decrypt before pii_scrubber
+    precedence.add(0, 3)  # decrypt before content_classifier
+    return OrderingProblem(
+        services,
+        CommunicationCostMatrix(matrix),
+        precedence=precedence,
+        name="federated-document-pipeline",
+    )
+
+
+def all_scenarios() -> dict[str, OrderingProblem]:
+    """All named scenarios keyed by their problem name."""
+    scenarios = [
+        credit_card_screening(),
+        sensor_quality_pipeline(),
+        federated_document_pipeline(),
+    ]
+    return {problem.name: problem for problem in scenarios}

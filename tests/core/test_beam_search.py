@@ -1,0 +1,65 @@
+"""Unit tests for the beam-search heuristic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import beam_search, branch_and_bound, optimize
+from repro.core.beam_search import BeamSearchOptimizer
+
+
+class TestBeamSearch:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            BeamSearchOptimizer(width=0)
+
+    def test_wide_beam_is_exhaustive_and_marked_optimal(self, make_random_problem):
+        problem = make_random_problem(5, 3)
+        result = BeamSearchOptimizer(width=math.factorial(5)).optimize(problem)
+        assert result.optimal
+        assert result.cost == pytest.approx(branch_and_bound(problem).cost)
+        assert result.statistics.extra["beam_overflowed"] is False
+
+    def test_narrow_beam_is_marked_heuristic(self, make_random_problem):
+        problem = make_random_problem(6, 4)
+        result = BeamSearchOptimizer(width=2).optimize(problem)
+        assert not result.optimal
+        assert result.statistics.extra["beam_overflowed"] is True
+
+    def test_never_better_than_the_optimum(self, make_random_problem):
+        for seed in range(15):
+            problem = make_random_problem(6, seed)
+            assert beam_search(problem, width=4).cost >= branch_and_bound(problem).cost - 1e-9
+
+    def test_quality_improves_with_width(self, make_random_problem):
+        worse = 0
+        for seed in range(10):
+            problem = make_random_problem(7, seed, cost_range=(0.0, 1.0), transfer_range=(0.0, 3.0))
+            narrow = beam_search(problem, width=1).cost
+            wide = beam_search(problem, width=32).cost
+            if wide > narrow + 1e-9:
+                worse += 1
+        assert worse == 0
+
+    def test_wide_beam_often_matches_optimum(self, make_random_problem):
+        hits = 0
+        for seed in range(10):
+            problem = make_random_problem(7, seed)
+            if beam_search(problem, width=64).cost == pytest.approx(branch_and_bound(problem).cost):
+                hits += 1
+        assert hits >= 8
+
+    def test_respects_precedence(self, constrained_problem):
+        order = beam_search(constrained_problem, width=4).order
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(3)
+
+    def test_registered_in_the_facade(self, four_service_problem):
+        result = optimize(four_service_problem, algorithm="beam_search", width=8)
+        assert result.algorithm == "beam_search"
+
+    def test_plan_is_a_permutation(self, make_random_problem):
+        problem = make_random_problem(8, 11)
+        assert sorted(beam_search(problem, width=3).order) == list(range(8))

@@ -1,0 +1,94 @@
+"""Unit tests for the bottleneck-TSP reduction and path solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BottleneckPathSolver,
+    CommunicationCostMatrix,
+    bottleneck_path,
+    branch_and_bound,
+    distance_matrix_from_problem,
+    exhaustive_search,
+    is_bottleneck_tsp_instance,
+    problem_from_distance_matrix,
+)
+from repro.exceptions import OptimizationError, ProblemTooLargeError
+from repro.network import random_matrix
+
+
+class TestReduction:
+    def test_problem_from_distance_matrix_shape(self):
+        distances = CommunicationCostMatrix([[0.0, 2.0, 3.0], [2.0, 0.0, 1.0], [3.0, 1.0, 0.0]])
+        problem = problem_from_distance_matrix(distances)
+        assert is_bottleneck_tsp_instance(problem)
+        assert problem.costs == (0.0, 0.0, 0.0)
+        assert problem.selectivities == (1.0, 1.0, 1.0)
+        assert distance_matrix_from_problem(problem) == distances
+
+    def test_round_trip_rejects_general_problems(self, three_service_problem):
+        assert not is_bottleneck_tsp_instance(three_service_problem)
+        with pytest.raises(OptimizationError):
+            distance_matrix_from_problem(three_service_problem)
+
+    def test_plan_cost_equals_max_edge(self):
+        distances = CommunicationCostMatrix([[0.0, 2.0, 3.0], [2.0, 0.0, 1.0], [3.0, 1.0, 0.0]])
+        problem = problem_from_distance_matrix(distances)
+        assert problem.cost((0, 1, 2)) == pytest.approx(2.0)
+        assert problem.cost((0, 2, 1)) == pytest.approx(3.0)
+
+    def test_branch_and_bound_solves_the_reduction(self):
+        for seed in range(8):
+            distances = random_matrix(6, seed=seed, low=0.5, high=10.0)
+            problem = problem_from_distance_matrix(distances)
+            bb = branch_and_bound(problem)
+            reference = exhaustive_search(problem)
+            assert bb.cost == pytest.approx(reference.cost)
+
+
+class TestBottleneckPathSolver:
+    def test_hand_checked_instance(self):
+        # Path 0-1-2 uses edges 1 and 2 -> bottleneck 2; any path through edge (0,2)=9 is worse.
+        distances = CommunicationCostMatrix([[0.0, 1.0, 9.0], [1.0, 0.0, 2.0], [9.0, 2.0, 0.0]])
+        result = bottleneck_path(distances)
+        assert result.bottleneck == pytest.approx(2.0)
+        assert set(result.path) == {0, 1, 2}
+
+    def test_matches_reduction_plus_branch_and_bound(self):
+        for seed in range(10):
+            distances = random_matrix(6, seed=100 + seed, low=0.1, high=5.0)
+            problem = problem_from_distance_matrix(distances)
+            assert bottleneck_path(distances).bottleneck == pytest.approx(
+                branch_and_bound(problem).cost
+            )
+
+    def test_asymmetric_distances(self):
+        distances = CommunicationCostMatrix([[0.0, 1.0, 8.0], [5.0, 0.0, 1.0], [1.0, 7.0, 0.0]])
+        result = bottleneck_path(distances)
+        problem = problem_from_distance_matrix(distances)
+        assert result.bottleneck == pytest.approx(exhaustive_search(problem).cost)
+
+    def test_single_node(self):
+        result = bottleneck_path(CommunicationCostMatrix([[0.0]]))
+        assert result.path == (0,)
+        assert result.bottleneck == 0.0
+
+    def test_two_nodes(self):
+        result = bottleneck_path(CommunicationCostMatrix([[0.0, 4.0], [3.0, 0.0]]))
+        assert result.bottleneck == pytest.approx(3.0)
+        assert result.path == (1, 0)
+
+    def test_size_guard(self):
+        with pytest.raises(ProblemTooLargeError):
+            BottleneckPathSolver(max_size=4).solve(random_matrix(5, seed=1))
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            BottleneckPathSolver(max_size=1)
+
+    def test_statistics_populated(self):
+        result = bottleneck_path(random_matrix(5, seed=3, low=1.0, high=2.0))
+        assert result.feasibility_checks >= 1
+        assert result.nodes_expanded >= 1
+        assert result.elapsed_seconds >= 0.0

@@ -1,0 +1,65 @@
+"""Unit tests for the subset dynamic-programming baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DynamicProgrammingOptimizer, dynamic_programming, exhaustive_search
+from repro.exceptions import ProblemTooLargeError
+
+
+class TestDynamicProgramming:
+    def test_matches_exhaustive_on_fixtures(
+        self, three_service_problem, four_service_problem, proliferative_problem
+    ):
+        for problem in (three_service_problem, four_service_problem, proliferative_problem):
+            assert dynamic_programming(problem).cost == pytest.approx(
+                exhaustive_search(problem).cost
+            )
+
+    def test_matches_exhaustive_on_random_instances(self, make_random_problem):
+        for seed in range(25):
+            problem = make_random_problem(6, seed, selectivity_range=(0.2, 1.8))
+            assert dynamic_programming(problem).cost == pytest.approx(
+                exhaustive_search(problem).cost
+            )
+
+    def test_matches_exhaustive_with_precedence(self, constrained_problem):
+        assert dynamic_programming(constrained_problem).cost == pytest.approx(
+            exhaustive_search(constrained_problem).cost
+        )
+
+    def test_matches_exhaustive_with_sink_transfer(self, make_random_problem):
+        problem = make_random_problem(5, 17).with_sink_transfer([1.0, 0.0, 2.0, 5.0, 0.5])
+        assert dynamic_programming(problem).cost == pytest.approx(exhaustive_search(problem).cost)
+
+    def test_returned_plan_achieves_reported_cost(self, make_random_problem):
+        problem = make_random_problem(7, 3)
+        result = dynamic_programming(problem)
+        assert problem.cost(result.order) == pytest.approx(result.cost)
+        assert sorted(result.order) == list(range(7))
+
+    def test_state_count_is_reported(self, four_service_problem):
+        result = dynamic_programming(four_service_problem)
+        assert result.statistics.extra["dp_states"] > 0
+        # The DP touches far fewer states than n! permutations on larger inputs,
+        # but for n=4 it is at most 2^4 * 4 = 64.
+        assert result.statistics.extra["dp_states"] <= 64
+
+    def test_size_guard(self, make_random_problem):
+        problem = make_random_problem(5, 0)
+        with pytest.raises(ProblemTooLargeError):
+            DynamicProgrammingOptimizer(max_size=4).optimize(problem)
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            DynamicProgrammingOptimizer(max_size=0)
+
+    def test_precedence_with_single_feasible_order(self, make_random_problem):
+        from repro.core import PrecedenceGraph
+
+        problem = make_random_problem(4, 2)
+        chain = PrecedenceGraph.chain([3, 1, 0, 2], size=4)
+        constrained = problem.with_precedence(chain)
+        result = dynamic_programming(constrained)
+        assert result.order == (3, 1, 0, 2)

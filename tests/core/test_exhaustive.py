@@ -1,0 +1,52 @@
+"""Unit tests for the exhaustive baseline."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import ExhaustiveOptimizer, exhaustive_search
+from repro.exceptions import ProblemTooLargeError
+
+
+class TestExhaustive:
+    def test_finds_minimum_over_all_permutations(self, four_service_problem):
+        result = exhaustive_search(four_service_problem)
+        best = min(
+            four_service_problem.cost(order) for order in permutations(range(4))
+        )
+        assert result.cost == pytest.approx(best)
+        assert result.optimal
+
+    def test_counts_every_permutation(self, four_service_problem):
+        result = exhaustive_search(four_service_problem)
+        assert result.statistics.nodes_expanded == 24
+        assert result.statistics.plans_evaluated == 24
+
+    def test_respects_precedence(self, constrained_problem):
+        result = exhaustive_search(constrained_problem)
+        order = result.order
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(3)
+        # Feasible plans are fewer than n!.
+        assert result.statistics.plans_evaluated < result.statistics.nodes_expanded
+
+    def test_size_guard(self, make_random_problem):
+        problem = make_random_problem(6, 0)
+        with pytest.raises(ProblemTooLargeError):
+            ExhaustiveOptimizer(max_size=5).optimize(problem)
+
+    def test_size_guard_can_be_raised(self, make_random_problem):
+        problem = make_random_problem(6, 0)
+        result = ExhaustiveOptimizer(max_size=6).optimize(problem)
+        assert result.optimal
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            ExhaustiveOptimizer(max_size=0)
+
+    def test_single_service(self, make_random_problem):
+        problem = make_random_problem(1, 1)
+        result = exhaustive_search(problem)
+        assert result.order == (0,)

@@ -1,0 +1,83 @@
+"""Unit tests for the greedy construction heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GreedyOptimizer, GreedyStrategy, branch_and_bound, greedy, random_plan
+
+
+class TestGreedyStrategies:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyOptimizer("nope")
+
+    def test_all_strategies_return_valid_plans(self, four_service_problem):
+        for strategy in GreedyStrategy.ALL:
+            result = GreedyOptimizer(strategy, seed=1).optimize(four_service_problem)
+            assert sorted(result.order) == list(range(4))
+            assert not result.optimal
+            assert result.cost == pytest.approx(four_service_problem.cost(result.order))
+
+    def test_cheapest_cost_orders_by_cost_without_constraints(self, make_random_problem):
+        problem = make_random_problem(5, 4)
+        result = greedy(problem, GreedyStrategy.CHEAPEST_COST)
+        costs = [problem.costs[index] for index in result.order]
+        assert costs == sorted(costs)
+
+    def test_most_selective_orders_by_selectivity(self, make_random_problem):
+        problem = make_random_problem(5, 4)
+        result = greedy(problem, GreedyStrategy.MOST_SELECTIVE)
+        selectivities = [problem.selectivities[index] for index in result.order]
+        assert selectivities == sorted(selectivities)
+
+    def test_nearest_successor_follows_cheapest_transfers(self, three_service_problem):
+        result = greedy(three_service_problem, GreedyStrategy.NEAREST_SUCCESSOR)
+        order = result.order
+        # After the first two services, each next hop is the cheapest remaining transfer.
+        for position in range(1, len(order) - 1):
+            last = order[position]
+            chosen = order[position + 1]
+            remaining = set(order[position + 1 :])
+            cheapest = min(remaining, key=lambda j: three_service_problem.transfer_cost(last, j))
+            assert three_service_problem.transfer_cost(last, chosen) == pytest.approx(
+                three_service_problem.transfer_cost(last, cheapest)
+            )
+
+    def test_random_strategy_is_seeded(self, make_random_problem):
+        problem = make_random_problem(6, 8)
+        first = random_plan(problem, seed=5).order
+        second = random_plan(problem, seed=5).order
+        third = random_plan(problem, seed=6).order
+        assert first == second
+        assert sorted(third) == list(range(6))
+
+    def test_greedy_never_beats_branch_and_bound(self, make_random_problem):
+        for seed in range(15):
+            problem = make_random_problem(6, seed)
+            optimal = branch_and_bound(problem).cost
+            for strategy in (
+                GreedyStrategy.NEAREST_SUCCESSOR,
+                GreedyStrategy.CHEAPEST_COST,
+                GreedyStrategy.MIN_TERM,
+            ):
+                assert greedy(problem, strategy).cost >= optimal - 1e-9
+
+    def test_precedence_respected_by_every_strategy(self, constrained_problem):
+        for strategy in GreedyStrategy.ALL:
+            result = GreedyOptimizer(strategy, seed=2).optimize(constrained_problem)
+            order = result.order
+            assert order.index(0) < order.index(2)
+            assert order.index(1) < order.index(3)
+
+    def test_min_term_lookahead_on_fixture(self, three_service_problem):
+        result = greedy(three_service_problem, GreedyStrategy.MIN_TERM)
+        assert result.cost == pytest.approx(three_service_problem.cost(result.order))
+
+    def test_algorithm_name_encodes_strategy(self):
+        assert GreedyOptimizer(GreedyStrategy.RANDOM).name == "greedy_random"
+
+    def test_statistics_report_single_plan(self, four_service_problem):
+        result = greedy(four_service_problem)
+        assert result.statistics.plans_evaluated == 1
+        assert result.statistics.nodes_expanded == 4

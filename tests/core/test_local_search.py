@@ -1,0 +1,102 @@
+"""Unit tests for the local-search heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HillClimbingOptimizer,
+    SimulatedAnnealingOptimizer,
+    SimulatedAnnealingOptions,
+    branch_and_bound,
+    greedy,
+    hill_climbing,
+    simulated_annealing,
+)
+from repro.core.greedy import GreedyStrategy
+
+
+class TestHillClimbing:
+    def test_never_worse_than_greedy_start(self, make_random_problem):
+        for seed in range(10):
+            problem = make_random_problem(6, seed)
+            best_greedy = min(
+                greedy(problem, strategy).cost
+                for strategy in (
+                    GreedyStrategy.NEAREST_SUCCESSOR,
+                    GreedyStrategy.CHEAPEST_COST,
+                    GreedyStrategy.MIN_TERM,
+                )
+            )
+            assert hill_climbing(problem).cost <= best_greedy + 1e-9
+
+    def test_never_better_than_optimum(self, make_random_problem):
+        for seed in range(10):
+            problem = make_random_problem(6, seed)
+            assert hill_climbing(problem).cost >= branch_and_bound(problem).cost - 1e-9
+
+    def test_often_reaches_the_optimum_on_small_instances(self, make_random_problem):
+        hits = 0
+        trials = 10
+        for seed in range(trials):
+            problem = make_random_problem(5, seed)
+            if hill_climbing(problem).cost == pytest.approx(branch_and_bound(problem).cost):
+                hits += 1
+        assert hits >= trials // 2
+
+    def test_respects_precedence(self, constrained_problem):
+        order = hill_climbing(constrained_problem).order
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(3)
+
+    def test_invalid_iteration_count(self):
+        with pytest.raises(ValueError):
+            HillClimbingOptimizer(max_iterations=0)
+
+    def test_result_is_marked_heuristic(self, four_service_problem):
+        assert not hill_climbing(four_service_problem).optimal
+
+
+class TestSimulatedAnnealing:
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingOptions(initial_temperature=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingOptions(cooling=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingOptions(steps=0)
+
+    def test_deterministic_for_fixed_seed(self, make_random_problem):
+        problem = make_random_problem(6, 11)
+        options = SimulatedAnnealingOptions(steps=500, seed=9)
+        first = SimulatedAnnealingOptimizer(options).optimize(problem)
+        second = SimulatedAnnealingOptimizer(options).optimize(problem)
+        assert first.order == second.order
+        assert first.cost == pytest.approx(second.cost)
+
+    def test_never_better_than_optimum(self, make_random_problem):
+        for seed in range(8):
+            problem = make_random_problem(6, seed)
+            result = simulated_annealing(problem, SimulatedAnnealingOptions(steps=800, seed=seed))
+            assert result.cost >= branch_and_bound(problem).cost - 1e-9
+
+    def test_respects_precedence(self, constrained_problem):
+        result = simulated_annealing(constrained_problem, SimulatedAnnealingOptions(steps=300))
+        order = result.order
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(3)
+
+    def test_best_plan_is_tracked_not_final_state(self, make_random_problem):
+        problem = make_random_problem(6, 3)
+        result = simulated_annealing(problem, SimulatedAnnealingOptions(steps=1500, seed=2))
+        # The reported cost must match the reported plan (consistency check in the result),
+        # and must be at least as good as the greedy starting point.
+        start = min(
+            greedy(problem, strategy).cost
+            for strategy in (
+                GreedyStrategy.NEAREST_SUCCESSOR,
+                GreedyStrategy.CHEAPEST_COST,
+                GreedyStrategy.MIN_TERM,
+            )
+        )
+        assert result.cost <= start + 1e-9

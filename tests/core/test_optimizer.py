@@ -1,0 +1,57 @@
+"""Unit tests for the optimizer facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import available_algorithms, compare, optimize
+from repro.exceptions import OptimizationError
+
+
+class TestFacade:
+    def test_available_algorithms_contains_the_paper_algorithm(self):
+        names = available_algorithms()
+        assert "branch_and_bound" in names
+        assert "exhaustive" in names
+        assert "srivastava_centralized" in names
+        assert len(names) >= 10
+
+    def test_default_algorithm_is_branch_and_bound(self, four_service_problem):
+        result = optimize(four_service_problem)
+        assert result.algorithm == "branch_and_bound"
+        assert result.optimal
+
+    def test_unknown_algorithm_raises(self, four_service_problem):
+        with pytest.raises(OptimizationError):
+            optimize(four_service_problem, algorithm="quantum_annealer")
+
+    def test_options_are_forwarded(self, four_service_problem):
+        result = optimize(four_service_problem, algorithm="branch_and_bound", use_lemma3=False)
+        assert result.optimal
+        seeded = optimize(four_service_problem, algorithm="random", seed=3)
+        assert seeded.order == optimize(four_service_problem, algorithm="random", seed=3).order
+
+    def test_srivastava_rejects_options(self, four_service_problem):
+        with pytest.raises(OptimizationError):
+            optimize(four_service_problem, algorithm="srivastava_centralized", seed=1)
+
+    def test_exact_algorithms_agree(self, four_service_problem):
+        costs = {
+            name: optimize(four_service_problem, algorithm=name).cost
+            for name in ("branch_and_bound", "exhaustive", "dynamic_programming")
+        }
+        assert max(costs.values()) == pytest.approx(min(costs.values()))
+
+    def test_compare_runs_selected_algorithms(self, four_service_problem):
+        results = compare(
+            four_service_problem, algorithms=["branch_and_bound", "greedy_cheapest_cost"]
+        )
+        assert set(results) == {"branch_and_bound", "greedy_cheapest_cost"}
+        assert results["greedy_cheapest_cost"].cost >= results["branch_and_bound"].cost - 1e-9
+
+    def test_compare_defaults_to_every_algorithm(self, three_service_problem):
+        results = compare(three_service_problem)
+        assert set(results) == set(available_algorithms())
+        optimal = results["branch_and_bound"].cost
+        for result in results.values():
+            assert result.cost >= optimal - 1e-9

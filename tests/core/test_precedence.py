@@ -1,0 +1,100 @@
+"""Unit tests for precedence constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PrecedenceGraph
+from repro.exceptions import PrecedenceCycleError, PrecedenceViolationError
+
+
+class TestPrecedenceGraph:
+    def test_empty_graph(self):
+        graph = PrecedenceGraph.empty(3)
+        assert not graph.has_constraints
+        assert graph.is_valid_order([2, 1, 0])
+        assert graph.allowed_extensions(set(), [0, 1, 2]) == [0, 1, 2]
+
+    def test_add_and_query(self):
+        graph = PrecedenceGraph(4)
+        graph.add(0, 2)
+        graph.add(1, 2)
+        assert graph.has_constraints
+        assert graph.predecessors(2) == {0, 1}
+        assert graph.successors(0) == {2}
+        assert list(graph.edges()) == [(0, 2), (1, 2)]
+
+    def test_self_loop_rejected(self):
+        graph = PrecedenceGraph(3)
+        with pytest.raises(PrecedenceCycleError):
+            graph.add(1, 1)
+
+    def test_cycle_rejected(self):
+        graph = PrecedenceGraph(3)
+        graph.add(0, 1)
+        graph.add(1, 2)
+        with pytest.raises(PrecedenceCycleError):
+            graph.add(2, 0)
+
+    def test_indirect_cycle_rejected(self):
+        graph = PrecedenceGraph(4)
+        graph.add(0, 1)
+        graph.add(1, 2)
+        graph.add(2, 3)
+        with pytest.raises(PrecedenceCycleError):
+            graph.add(3, 0)
+
+    def test_out_of_range_index_rejected(self):
+        graph = PrecedenceGraph(2)
+        with pytest.raises(ValueError):
+            graph.add(0, 5)
+        with pytest.raises(ValueError):
+            graph.predecessors(7)
+
+    def test_chain_constructor(self):
+        graph = PrecedenceGraph.chain([2, 0, 1], size=3)
+        assert graph.is_valid_order([2, 0, 1])
+        assert not graph.is_valid_order([0, 2, 1])
+
+    def test_check_order_raises_with_position_info(self):
+        graph = PrecedenceGraph(3)
+        graph.add(0, 1)
+        with pytest.raises(PrecedenceViolationError):
+            graph.check_order([1, 0, 2])
+
+    def test_check_order_ignores_absent_services(self):
+        graph = PrecedenceGraph(4)
+        graph.add(0, 3)
+        # The partial order only contains unrelated services.
+        graph.check_order([1, 2])
+
+    def test_is_allowed_next(self):
+        graph = PrecedenceGraph(3)
+        graph.add(0, 1)
+        assert graph.is_allowed_next(set(), 0)
+        assert not graph.is_allowed_next(set(), 1)
+        assert graph.is_allowed_next({0}, 1)
+
+    def test_allowed_extensions_filters(self):
+        graph = PrecedenceGraph(4)
+        graph.add(0, 1)
+        graph.add(0, 2)
+        assert graph.allowed_extensions(set(), [0, 1, 2, 3]) == [0, 3]
+        assert graph.allowed_extensions({0}, [1, 2, 3]) == [1, 2, 3]
+
+    def test_topological_order_respects_constraints(self):
+        graph = PrecedenceGraph(5)
+        graph.add(3, 0)
+        graph.add(0, 4)
+        graph.add(1, 4)
+        order = graph.topological_order()
+        assert sorted(order) == list(range(5))
+        assert graph.is_valid_order(order)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            PrecedenceGraph(0)
+
+    def test_repr_lists_edges(self):
+        graph = PrecedenceGraph(2, edges=[(0, 1)])
+        assert "(0, 1)" in repr(graph)

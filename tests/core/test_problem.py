@@ -1,0 +1,153 @@
+"""Unit tests for OrderingProblem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommunicationCostMatrix, OrderingProblem, PrecedenceGraph, Service
+from repro.exceptions import InvalidPlanError, InvalidProblemError
+
+
+class TestConstruction:
+    def test_from_parameters_defaults_names(self, three_service_problem):
+        assert [s.name for s in three_service_problem.services] == ["WS0", "WS1", "WS2"]
+        assert three_service_problem.size == 3
+
+    def test_explicit_services(self):
+        services = [Service("a", cost=1.0, selectivity=0.5), Service("b", cost=2.0, selectivity=0.6)]
+        problem = OrderingProblem(services, CommunicationCostMatrix.uniform(2, 1.0))
+        assert problem.service_index("b") == 1
+        assert problem.service(0).name == "a"
+
+    def test_duplicate_names_rejected(self):
+        services = [Service("a", cost=1.0, selectivity=0.5), Service("a", cost=2.0, selectivity=0.6)]
+        with pytest.raises(InvalidProblemError):
+            OrderingProblem(services, CommunicationCostMatrix.uniform(2, 1.0))
+
+    def test_matrix_size_mismatch_rejected(self):
+        services = [Service("a", cost=1.0, selectivity=0.5)]
+        with pytest.raises(InvalidProblemError):
+            OrderingProblem(services, CommunicationCostMatrix.uniform(2, 1.0))
+
+    def test_empty_service_list_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            OrderingProblem([], CommunicationCostMatrix.uniform(1, 0.0))
+
+    def test_precedence_size_mismatch_rejected(self):
+        services = [Service("a", cost=1.0, selectivity=0.5), Service("b", cost=1.0, selectivity=0.5)]
+        with pytest.raises(InvalidProblemError):
+            OrderingProblem(
+                services, CommunicationCostMatrix.uniform(2, 1.0), precedence=PrecedenceGraph(3)
+            )
+
+    def test_sink_transfer_validation(self):
+        with pytest.raises(InvalidProblemError):
+            OrderingProblem.from_parameters(
+                [1.0, 2.0], [0.5, 0.6], CommunicationCostMatrix.uniform(2, 1.0), sink_transfer=[1.0]
+            )
+        with pytest.raises(InvalidProblemError):
+            OrderingProblem.from_parameters(
+                [1.0, 2.0],
+                [0.5, 0.6],
+                CommunicationCostMatrix.uniform(2, 1.0),
+                sink_transfer=[1.0, -2.0],
+            )
+
+    def test_mismatched_parameter_lengths_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            OrderingProblem.from_parameters([1.0, 2.0], [0.5], CommunicationCostMatrix.uniform(2, 1.0))
+        with pytest.raises(InvalidProblemError):
+            OrderingProblem.from_parameters(
+                [1.0, 2.0], [0.5, 0.5], CommunicationCostMatrix.uniform(2, 1.0), names=["only-one"]
+            )
+
+    def test_unknown_service_lookup(self, three_service_problem):
+        with pytest.raises(InvalidProblemError):
+            three_service_problem.service_index("nope")
+
+
+class TestPredicates:
+    def test_all_selective(self, three_service_problem, proliferative_problem):
+        assert three_service_problem.all_selective
+        assert not proliferative_problem.all_selective
+
+    def test_uniform_transfer_detection(self):
+        problem = OrderingProblem.from_parameters(
+            [1.0, 2.0], [0.5, 0.6], CommunicationCostMatrix.uniform(2, 3.0)
+        )
+        assert problem.has_uniform_transfer
+
+    def test_precedence_flag(self, constrained_problem, three_service_problem):
+        assert constrained_problem.has_precedence_constraints
+        assert not three_service_problem.has_precedence_constraints
+
+
+class TestPlansAndCosts:
+    def test_plan_validation_accepts_permutations(self, three_service_problem):
+        plan = three_service_problem.plan([2, 0, 1])
+        assert plan.order == (2, 0, 1)
+
+    def test_plan_rejects_incomplete(self, three_service_problem):
+        with pytest.raises(InvalidPlanError):
+            three_service_problem.plan([0, 1])
+
+    def test_plan_rejects_duplicates(self, three_service_problem):
+        with pytest.raises(InvalidPlanError):
+            three_service_problem.plan([0, 1, 1])
+
+    def test_plan_rejects_precedence_violation(self, constrained_problem):
+        with pytest.raises(InvalidPlanError):
+            constrained_problem.plan([2, 0, 1, 3, 4])
+
+    def test_plan_from_names(self, three_service_problem):
+        plan = three_service_problem.plan_from_names(["WS1", "WS0", "WS2"])
+        assert plan.order == (1, 0, 2)
+
+    def test_cost_matches_stage_costs(self, four_service_problem):
+        order = (3, 0, 1, 2)
+        stages = four_service_problem.stage_costs(order)
+        assert four_service_problem.cost(order) == pytest.approx(max(s.total for s in stages))
+        assert four_service_problem.bottleneck_stage(order).total == pytest.approx(
+            four_service_problem.cost(order)
+        )
+
+    def test_sink_cost_default_zero(self, three_service_problem):
+        assert three_service_problem.sink_cost(1) == 0.0
+
+    def test_transfer_cost_accessor(self, three_service_problem):
+        assert three_service_problem.transfer_cost(0, 2) == 5.0
+
+
+class TestCopyHelpers:
+    def test_with_uniform_transfer_preserves_mean(self, four_service_problem):
+        uniform = four_service_problem.with_uniform_transfer()
+        assert uniform.has_uniform_transfer
+        assert uniform.transfer.mean_cost() == pytest.approx(
+            four_service_problem.transfer.mean_cost()
+        )
+        # Services unchanged.
+        assert uniform.costs == four_service_problem.costs
+
+    def test_with_uniform_transfer_explicit_value(self, four_service_problem):
+        uniform = four_service_problem.with_uniform_transfer(7.0)
+        assert uniform.transfer.cost(0, 1) == 7.0
+
+    def test_with_transfer_requires_matching_size(self, four_service_problem):
+        with pytest.raises(InvalidProblemError):
+            four_service_problem.with_transfer(CommunicationCostMatrix.uniform(3, 1.0))
+
+    def test_with_precedence(self, three_service_problem):
+        graph = PrecedenceGraph(3, edges=[(0, 1)])
+        constrained = three_service_problem.with_precedence(graph)
+        assert constrained.has_precedence_constraints
+        assert not three_service_problem.has_precedence_constraints
+
+    def test_with_sink_transfer(self, three_service_problem):
+        problem = three_service_problem.with_sink_transfer([1.0, 2.0, 3.0])
+        assert problem.sink_cost(2) == 3.0
+        assert problem.cost((0, 1, 2)) >= three_service_problem.cost((0, 1, 2))
+
+    def test_describe_contains_services(self, credit_card_problem):
+        text = credit_card_problem.describe()
+        assert "card_lookup" in text
+        assert "4 services" in text

@@ -1,0 +1,60 @@
+"""Unit tests for OptimizationResult and SearchStatistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OptimizationResult, SearchStatistics, branch_and_bound
+
+
+class TestSearchStatistics:
+    def test_defaults_are_zero(self):
+        stats = SearchStatistics()
+        assert stats.nodes_expanded == 0
+        assert stats.plans_evaluated == 0
+        assert stats.elapsed_seconds == 0.0
+        assert stats.extra == {}
+
+    def test_merge_adds_counters(self):
+        a = SearchStatistics(nodes_expanded=3, plans_evaluated=1, extra={"x": 2})
+        b = SearchStatistics(nodes_expanded=4, lemma2_closures=2, extra={"x": 5, "y": "label"})
+        merged = a.merge(b)
+        assert merged.nodes_expanded == 7
+        assert merged.plans_evaluated == 1
+        assert merged.lemma2_closures == 2
+        assert merged.extra["x"] == 7
+        assert merged.extra["y"] == "label"
+        # Originals untouched.
+        assert a.nodes_expanded == 3
+
+    def test_as_dict_flattens_extra(self):
+        stats = SearchStatistics(nodes_expanded=2, extra={"dp_states": 11})
+        data = stats.as_dict()
+        assert data["nodes_expanded"] == 2
+        assert data["dp_states"] == 11
+
+
+class TestOptimizationResult:
+    def test_consistency_check_rejects_wrong_cost(self, three_service_problem):
+        plan = three_service_problem.plan([0, 1, 2])
+        with pytest.raises(ValueError):
+            OptimizationResult(plan=plan, cost=plan.cost + 1.0, algorithm="x", optimal=False)
+
+    def test_accessors(self, three_service_problem):
+        plan = three_service_problem.plan([2, 0, 1])
+        result = OptimizationResult(plan=plan, cost=plan.cost, algorithm="manual", optimal=False)
+        assert result.order == (2, 0, 1)
+        assert "manual" in result.describe()
+        assert "heuristic" in result.describe()
+
+    def test_as_dict_round_trip(self, four_service_problem):
+        result = branch_and_bound(four_service_problem)
+        data = result.as_dict()
+        assert data["algorithm"] == "branch_and_bound"
+        assert data["optimal"] is True
+        assert data["order"] == list(result.order)
+        assert data["nodes_expanded"] == result.statistics.nodes_expanded
+
+    def test_describe_mentions_optimality(self, four_service_problem):
+        result = branch_and_bound(four_service_problem)
+        assert "optimal" in result.describe()

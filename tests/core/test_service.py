@@ -1,0 +1,127 @@
+"""Unit tests for the Service model and ServiceRegistry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Service, ServiceRegistry
+from repro.exceptions import InvalidServiceError
+
+
+class TestService:
+    def test_basic_construction(self):
+        service = Service("lookup", cost=2.5, selectivity=0.4, host="node-1")
+        assert service.name == "lookup"
+        assert service.cost == 2.5
+        assert service.selectivity == 0.4
+        assert service.host == "node-1"
+        assert service.threads == 1
+
+    def test_zero_cost_is_allowed(self):
+        assert Service("free", cost=0.0, selectivity=1.0).cost == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(InvalidServiceError):
+            Service("bad", cost=-1.0, selectivity=0.5)
+
+    def test_zero_selectivity_rejected(self):
+        with pytest.raises(InvalidServiceError):
+            Service("bad", cost=1.0, selectivity=0.0)
+
+    def test_negative_selectivity_rejected(self):
+        with pytest.raises(InvalidServiceError):
+            Service("bad", cost=1.0, selectivity=-0.5)
+
+    def test_non_finite_cost_rejected(self):
+        with pytest.raises(InvalidServiceError):
+            Service("bad", cost=float("nan"), selectivity=0.5)
+        with pytest.raises(InvalidServiceError):
+            Service("bad", cost=float("inf"), selectivity=0.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidServiceError):
+            Service("", cost=1.0, selectivity=0.5)
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(InvalidServiceError):
+            Service("bad", cost=1.0, selectivity=0.5, threads=0)
+
+    def test_selectivity_classification(self):
+        assert Service("filter", cost=1.0, selectivity=0.3).is_selective
+        assert not Service("filter", cost=1.0, selectivity=0.3).is_proliferative
+        assert Service("expander", cost=1.0, selectivity=2.0).is_proliferative
+        assert Service("neutral", cost=1.0, selectivity=1.0).is_selective
+
+    def test_with_host_returns_copy(self):
+        original = Service("s", cost=1.0, selectivity=0.5)
+        pinned = original.with_host("h1")
+        assert pinned.host == "h1"
+        assert original.host is None
+        assert pinned.cost == original.cost
+
+    def test_scaled(self):
+        service = Service("s", cost=2.0, selectivity=0.5)
+        scaled = service.scaled(cost_factor=2.0, selectivity_factor=1.5)
+        assert scaled.cost == 4.0
+        assert scaled.selectivity == 0.75
+
+    def test_describe_mentions_kind(self):
+        assert "filter" in Service("f", cost=1.0, selectivity=0.5).describe()
+        assert "proliferative" in Service("p", cost=1.0, selectivity=2.0).describe()
+
+    def test_services_are_hashable_and_frozen(self):
+        service = Service("s", cost=1.0, selectivity=0.5)
+        assert {service: 1}[service] == 1
+        with pytest.raises(AttributeError):
+            service.cost = 2.0  # type: ignore[misc]
+
+
+class TestServiceRegistry:
+    def test_add_and_lookup(self):
+        registry = ServiceRegistry()
+        index = registry.add(Service("a", cost=1.0, selectivity=0.5))
+        assert index == 0
+        assert registry.index_of("a") == 0
+        assert registry.get("a").name == "a"
+        assert "a" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_names_rejected(self):
+        registry = ServiceRegistry([Service("a", cost=1.0, selectivity=0.5)])
+        with pytest.raises(InvalidServiceError):
+            registry.add(Service("a", cost=2.0, selectivity=0.4))
+
+    def test_unknown_name_raises(self):
+        registry = ServiceRegistry()
+        with pytest.raises(InvalidServiceError):
+            registry.index_of("missing")
+
+    def test_indices_are_stable(self):
+        services = [Service(f"s{i}", cost=1.0, selectivity=0.5) for i in range(5)]
+        registry = ServiceRegistry(services)
+        assert registry.names() == [f"s{i}" for i in range(5)]
+        assert [registry.index_of(s.name) for s in services] == list(range(5))
+        assert registry.as_tuple() == tuple(services)
+
+    def test_by_host_groups(self):
+        registry = ServiceRegistry(
+            [
+                Service("a", cost=1.0, selectivity=0.5, host="h1"),
+                Service("b", cost=1.0, selectivity=0.5, host="h2"),
+                Service("c", cost=1.0, selectivity=0.5, host="h1"),
+            ]
+        )
+        groups = registry.by_host()
+        assert [s.name for s in groups["h1"]] == ["a", "c"]
+        assert [s.name for s in groups["h2"]] == ["b"]
+
+    def test_non_service_rejected(self):
+        registry = ServiceRegistry()
+        with pytest.raises(InvalidServiceError):
+            registry.add("not a service")  # type: ignore[arg-type]
+
+    def test_iteration_and_indexing(self):
+        services = [Service("a", cost=1.0, selectivity=0.5), Service("b", cost=2.0, selectivity=0.6)]
+        registry = ServiceRegistry(services)
+        assert list(registry) == services
+        assert registry[1].name == "b"

@@ -1,0 +1,106 @@
+"""Unit tests for the centralized (Srivastava et al.) baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CommunicationCostMatrix,
+    OrderingProblem,
+    branch_and_bound,
+    exhaustive_search,
+    srivastava,
+)
+from repro.core.srivastava import SrivastavaOptimizer, selective_exchange_argument_holds
+
+
+class TestSrivastavaBaseline:
+    def test_optimal_with_zero_communication(self, make_random_problem):
+        """Under the centralized assumptions (free communication) the baseline is optimal."""
+        for seed in range(20):
+            problem = make_random_problem(6, seed).with_transfer(CommunicationCostMatrix.zeros(6))
+            assert srivastava(problem).cost == pytest.approx(exhaustive_search(problem).cost)
+
+    def test_close_to_optimal_under_small_uniform_communication(self, make_random_problem):
+        """With a small uniform transfer cost the centralized ordering stays near-optimal.
+
+        It is not guaranteed to be exactly optimal because the last stage of a
+        plan pays no outgoing transfer under Eq. 1, an interaction the
+        communication-oblivious baseline ignores.
+        """
+        for seed in range(10):
+            problem = make_random_problem(6, seed).with_uniform_transfer(0.05)
+            optimal = exhaustive_search(problem).cost
+            assert srivastava(problem).cost <= optimal * 1.25 + 1e-9
+
+    def test_orders_selective_services_by_cost(self, make_random_problem):
+        problem = make_random_problem(6, 5).with_uniform_transfer(0.5)
+        order = srivastava(problem).order
+        costs = [problem.costs[index] for index in order]
+        assert costs == sorted(costs)
+
+    def test_places_proliferative_services_last(self):
+        problem = OrderingProblem.from_parameters(
+            costs=[1.0, 2.0, 3.0],
+            selectivities=[1.5, 0.5, 0.8],
+            transfer=CommunicationCostMatrix.uniform(3, 1.0),
+        )
+        order = srivastava(problem).order
+        assert order[-1] == 0  # the proliferative service comes last
+
+    def test_suboptimal_under_heterogeneous_communication(self):
+        """The decentralized-aware optimizer can strictly beat the centralized ordering."""
+        problem = OrderingProblem.from_parameters(
+            costs=[1.0, 1.1, 1.2],
+            selectivities=[0.9, 0.9, 0.9],
+            transfer=CommunicationCostMatrix(
+                [[0.0, 9.0, 0.1], [9.0, 0.0, 9.0], [0.1, 9.0, 0.0]]
+            ),
+        )
+        centralized = srivastava(problem).cost
+        optimal = branch_and_bound(problem).cost
+        assert centralized > optimal
+
+    def test_never_beats_the_optimum(self, make_random_problem):
+        for seed in range(15):
+            problem = make_random_problem(6, seed)
+            assert srivastava(problem).cost >= branch_and_bound(problem).cost - 1e-9
+
+    def test_precedence_respected(self, constrained_problem):
+        order = srivastava(constrained_problem).order
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(3)
+
+    def test_provable_optimality_predicate(self, make_random_problem, constrained_problem):
+        free = make_random_problem(4, 0).with_transfer(CommunicationCostMatrix.zeros(4))
+        assert SrivastavaOptimizer().is_provably_optimal_for(free)
+        heterogeneous = make_random_problem(4, 0)
+        assert not SrivastavaOptimizer().is_provably_optimal_for(heterogeneous)
+        uniform_positive = make_random_problem(4, 0).with_uniform_transfer(1.0)
+        assert not SrivastavaOptimizer().is_provably_optimal_for(uniform_positive)
+        assert not SrivastavaOptimizer().is_provably_optimal_for(
+            constrained_problem.with_transfer(CommunicationCostMatrix.zeros(5))
+        )
+
+    def test_result_not_marked_optimal(self, make_random_problem):
+        assert not srivastava(make_random_problem(4, 1)).optimal
+
+
+class TestExchangeArgument:
+    def test_holds_on_hand_picked_values(self):
+        assert selective_exchange_argument_holds(1.0, 2.0, 0.5, 0.9)
+        assert selective_exchange_argument_holds(2.0, 1.0, 0.9, 0.5)  # auto-swaps
+        assert selective_exchange_argument_holds(0.0, 3.0, 1.0, 1.0)
+
+    def test_holds_on_a_grid(self):
+        values = [0.0, 0.5, 1.0, 2.0, 5.0]
+        sigmas = [0.1, 0.5, 0.9, 1.0]
+        for cx in values:
+            for cy in values:
+                for sx in sigmas:
+                    for sy in sigmas:
+                        assert selective_exchange_argument_holds(cx, cy, sx, sy)
+
+    def test_can_fail_for_proliferative_services(self):
+        # c_x=1, c_y=2, sigma_x=3 (proliferative): cheaper-first is NOT better.
+        assert not selective_exchange_argument_holds(1.0, 2.0, 3.0, 1.5)

@@ -1,0 +1,72 @@
+"""Tests for the multi-threaded-service relaxation (thread folding).
+
+The paper's restricted setting assumes single-threaded services and notes the
+solution applies "with minor modifications" when that is relaxed.  The
+relaxation is implemented by folding thread counts into an equivalent
+single-threaded problem; these tests check the folding algebra and
+cross-validate it against the simulator, which models threads natively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommunicationCostMatrix, OrderingProblem, Service, branch_and_bound
+from repro.simulation import SimulationConfig, simulate_plan
+
+
+def _threaded_problem() -> OrderingProblem:
+    services = [
+        Service("ingest", cost=1.0, selectivity=0.8, host="a", threads=1),
+        Service("heavy", cost=6.0, selectivity=0.5, host="b", threads=3),
+        Service("light", cost=1.5, selectivity=0.6, host="c", threads=1),
+    ]
+    transfer = CommunicationCostMatrix(
+        [[0.0, 0.5, 2.0], [0.5, 0.0, 1.0], [2.0, 1.0, 0.0]]
+    )
+    return OrderingProblem(services, transfer, name="threaded")
+
+
+class TestThreadFolding:
+    def test_single_threaded_problem_is_returned_unchanged(self, four_service_problem):
+        assert four_service_problem.with_threads_folded() is four_service_problem
+
+    def test_folded_costs_and_transfers_are_scaled(self):
+        problem = _threaded_problem()
+        folded = problem.with_threads_folded()
+        heavy = folded.service_index("heavy")
+        assert folded.costs[heavy] == pytest.approx(2.0)  # 6.0 / 3 threads
+        assert folded.transfer_cost(heavy, folded.service_index("light")) == pytest.approx(1.0 / 3)
+        # Other services and incoming links are untouched.
+        ingest = folded.service_index("ingest")
+        assert folded.costs[ingest] == pytest.approx(1.0)
+        assert folded.transfer_cost(ingest, heavy) == pytest.approx(0.5)
+        assert all(service.threads == 1 for service in folded.services)
+
+    def test_folding_changes_the_optimal_order_when_threads_absorb_a_bottleneck(self):
+        problem = _threaded_problem()
+        naive = branch_and_bound(problem)  # treats 'heavy' as a 6.0-cost single thread
+        folded = branch_and_bound(problem.with_threads_folded())
+        # With three threads the heavy service is effectively cheap, so it no
+        # longer needs to be shielded behind the strongest filters.
+        assert folded.cost <= naive.cost + 1e-9
+
+    def test_simulator_matches_the_folded_prediction(self):
+        """The DES models threads natively; Eq. 1 on the folded problem predicts it."""
+        problem = _threaded_problem()
+        folded = problem.with_threads_folded()
+        order = branch_and_bound(folded).order
+        report = simulate_plan(problem, order, SimulationConfig(tuple_count=3000))
+        assert report.normalized_makespan == pytest.approx(folded.cost(order), rel=0.05)
+
+    def test_folding_preserves_precedence_and_sink(self):
+        base = _threaded_problem()
+        from repro.core import PrecedenceGraph
+
+        problem = base.with_precedence(PrecedenceGraph(3, edges=[(0, 1)])).with_sink_transfer(
+            [3.0, 3.0, 3.0]
+        )
+        folded = problem.with_threads_folded()
+        assert folded.has_precedence_constraints
+        heavy = folded.service_index("heavy")
+        assert folded.sink_cost(heavy) == pytest.approx(1.0)  # 3.0 / 3 threads

@@ -1,0 +1,113 @@
+"""Unit tests for adaptive re-optimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommunicationCostMatrix, OrderingProblem, branch_and_bound
+from repro.estimation import AdaptiveReoptimizer, compute_drift
+from repro.exceptions import EstimationError
+
+
+def _problem(costs, selectivities, transfer_value=1.0, names=None) -> OrderingProblem:
+    size = len(costs)
+    return OrderingProblem.from_parameters(
+        costs,
+        selectivities,
+        CommunicationCostMatrix.uniform(size, transfer_value),
+        names=names,
+    )
+
+
+class TestComputeDrift:
+    def test_zero_drift_for_identical_problems(self, four_service_problem):
+        drift = compute_drift(four_service_problem, four_service_problem)
+        assert drift.overall == 0.0
+
+    def test_cost_drift_measured_relatively(self):
+        old = _problem([1.0, 2.0], [0.5, 0.5])
+        new = _problem([1.5, 2.0], [0.5, 0.5])
+        drift = compute_drift(old, new)
+        assert drift.max_cost_drift == pytest.approx(0.5 / 1.5)
+        assert drift.max_selectivity_drift == 0.0
+
+    def test_transfer_drift(self):
+        old = _problem([1.0, 2.0], [0.5, 0.5], transfer_value=1.0)
+        new = _problem([1.0, 2.0], [0.5, 0.5], transfer_value=2.0)
+        assert compute_drift(old, new).max_transfer_drift == pytest.approx(0.5)
+
+    def test_matching_is_by_name_not_index(self):
+        old = _problem([1.0, 2.0], [0.5, 0.9], names=["a", "b"])
+        relabelled = _problem([2.0, 1.0], [0.9, 0.5], names=["b", "a"])
+        assert compute_drift(old, relabelled).overall == 0.0
+
+    def test_different_service_sets_rejected(self):
+        old = _problem([1.0, 2.0], [0.5, 0.9], names=["a", "b"])
+        other = _problem([1.0, 2.0], [0.5, 0.9], names=["a", "c"])
+        with pytest.raises(EstimationError):
+            compute_drift(old, other)
+
+
+class TestAdaptiveReoptimizer:
+    def test_initial_plan_is_optimal(self, four_service_problem):
+        controller = AdaptiveReoptimizer(four_service_problem)
+        assert controller.current_order == branch_and_bound(four_service_problem).order
+        assert controller.adaptations == 0
+
+    def test_small_drift_does_not_reoptimize(self, four_service_problem):
+        controller = AdaptiveReoptimizer(four_service_problem, drift_threshold=0.10)
+        # Nudge one cost by 1%.
+        costs = list(four_service_problem.costs)
+        costs[0] *= 1.01
+        observed = OrderingProblem.from_parameters(
+            costs, four_service_problem.selectivities, four_service_problem.transfer
+        )
+        decision = controller.update(observed)
+        assert not decision.reoptimized
+        assert not decision.switched
+        assert controller.adaptations == 0
+
+    def test_large_drift_triggers_switch_when_it_pays_off(self):
+        # Initially service "fast" is cheap and goes first; after the drift it
+        # becomes very expensive and the optimal order changes.
+        before = _problem([1.0, 3.0, 3.5], [0.5, 0.5, 0.5], names=["fast", "mid", "slow"])
+        controller = AdaptiveReoptimizer(before, drift_threshold=0.05, improvement_threshold=0.01)
+        initial_names = controller.current_plan_names
+
+        after = _problem([20.0, 3.0, 3.5], [0.5, 0.5, 0.5], names=["fast", "mid", "slow"])
+        decision = controller.update(after)
+        assert decision.reoptimized
+        assert decision.switched
+        assert decision.improvement > 0.0
+        assert controller.adaptations == 1
+        assert controller.current_plan_names != initial_names
+        # The adopted plan is optimal for the new parameters.
+        assert after.cost(controller.current_order) == pytest.approx(branch_and_bound(after).cost)
+
+    def test_drift_without_improvement_keeps_the_plan(self):
+        # All services scale by the same factor: large drift, but the relative
+        # ordering (and hence the optimal plan) is unchanged.
+        before = _problem([1.0, 2.0, 4.0], [0.5, 0.6, 0.7], names=["a", "b", "c"])
+        controller = AdaptiveReoptimizer(before, drift_threshold=0.05)
+        original = controller.current_plan_names
+        after = _problem([2.0, 4.0, 8.0], [0.5, 0.6, 0.7], transfer_value=2.0, names=["a", "b", "c"])
+        decision = controller.update(after)
+        assert decision.reoptimized
+        assert not decision.switched
+        assert controller.current_plan_names == original
+        assert controller.adaptations == 0
+
+    def test_baseline_moves_to_observed_parameters(self):
+        before = _problem([1.0, 2.0], [0.5, 0.5], names=["a", "b"])
+        controller = AdaptiveReoptimizer(before, drift_threshold=0.05)
+        after = _problem([1.5, 2.0], [0.5, 0.5], names=["a", "b"])
+        controller.update(after)
+        # Feeding the same observation again shows no further drift.
+        second = controller.update(after)
+        assert not second.reoptimized
+
+    def test_parameter_validation(self, four_service_problem):
+        with pytest.raises(ValueError):
+            AdaptiveReoptimizer(four_service_problem, drift_threshold=-0.1)
+        with pytest.raises(ValueError):
+            AdaptiveReoptimizer(four_service_problem, improvement_threshold=-0.1)

@@ -1,0 +1,100 @@
+"""Unit and integration tests for problem calibration from observations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import branch_and_bound
+from repro.estimation import LinkObservation, ProblemCalibrator, observe_simulation
+from repro.exceptions import EstimationError
+from repro.simulation import SimulationConfig, simulate_plan
+
+
+class TestLinkObservation:
+    def test_per_tuple_cost(self):
+        observation = LinkObservation("a", "b", block_size=20, elapsed=4.0)
+        assert observation.per_tuple_cost() == pytest.approx(0.2)
+
+    def test_invalid_observation(self):
+        with pytest.raises(EstimationError):
+            LinkObservation("a", "b", block_size=0, elapsed=1.0).per_tuple_cost()
+        with pytest.raises(EstimationError):
+            LinkObservation("a", "b", block_size=1, elapsed=-1.0).per_tuple_cost()
+
+
+class TestProblemCalibrator:
+    def test_builds_problem_from_observations(self):
+        calibrator = ProblemCalibrator()
+        calibrator.record_service_call("filter", processing_time=2.0, inputs=2, outputs=1, host="h1")
+        calibrator.record_service_call("lookup", processing_time=3.0, inputs=1, outputs=2, host="h2")
+        calibrator.record_transfer(LinkObservation("filter", "lookup", block_size=10, elapsed=5.0))
+        calibrator.record_transfer(LinkObservation("lookup", "filter", block_size=10, elapsed=2.0))
+        problem = calibrator.build_problem()
+        assert problem.size == 2
+        filter_index = problem.service_index("filter")
+        lookup_index = problem.service_index("lookup")
+        assert problem.costs[filter_index] == pytest.approx(1.0)
+        assert problem.selectivities[filter_index] == pytest.approx(0.5)
+        assert problem.selectivities[lookup_index] == pytest.approx(2.0)
+        assert problem.transfer_cost(filter_index, lookup_index) == pytest.approx(0.5)
+        assert problem.service(filter_index).host == "h1"
+
+    def test_missing_link_requires_default(self):
+        calibrator = ProblemCalibrator()
+        calibrator.record_service_call("a", 1.0)
+        calibrator.record_service_call("b", 1.0)
+        with pytest.raises(EstimationError):
+            calibrator.build_problem()
+        problem = calibrator.build_problem(default_transfer=0.7)
+        assert problem.transfer_cost(0, 1) == pytest.approx(0.7)
+
+    def test_no_observations_raises(self):
+        with pytest.raises(EstimationError):
+            ProblemCalibrator().build_problem()
+
+    def test_averaging_over_repeated_transfers(self):
+        calibrator = ProblemCalibrator()
+        calibrator.record_service_call("a", 1.0)
+        calibrator.record_service_call("b", 1.0)
+        calibrator.record_transfer(LinkObservation("a", "b", 1, 1.0))
+        calibrator.record_transfer(LinkObservation("a", "b", 1, 3.0))
+        problem = calibrator.build_problem(default_transfer=0.0)
+        assert problem.transfer_cost(0, 1) == pytest.approx(2.0)
+
+
+class TestObserveSimulation:
+    def test_closed_loop_recovers_parameters(self, four_service_problem):
+        """Simulate a plan, calibrate from the trace, and recover the true parameters."""
+        order = (0, 1, 2, 3)
+        report = simulate_plan(four_service_problem, order, SimulationConfig(tuple_count=2000))
+        calibrator = ProblemCalibrator()
+        observe_simulation(calibrator, four_service_problem, report)
+        calibrated = calibrator.build_problem(default_transfer=0.0)
+
+        for service in calibrated.services:
+            true_index = four_service_problem.service_index(service.name)
+            assert service.cost == pytest.approx(four_service_problem.costs[true_index], rel=0.02)
+            assert service.selectivity == pytest.approx(
+                four_service_problem.selectivities[true_index], abs=0.05
+            )
+        # Transfer costs along the simulated chain are recovered too.
+        for position in range(len(order) - 1):
+            source = four_service_problem.service(order[position]).name
+            destination = four_service_problem.service(order[position + 1]).name
+            source_index = calibrated.service_index(source)
+            destination_index = calibrated.service_index(destination)
+            true_cost = four_service_problem.transfer_cost(order[position], order[position + 1])
+            assert calibrated.transfer_cost(source_index, destination_index) == pytest.approx(
+                true_cost, rel=0.02, abs=1e-9
+            )
+
+    def test_calibrated_problem_is_optimizable(self, four_service_problem):
+        report = simulate_plan(
+            four_service_problem, (3, 2, 1, 0), SimulationConfig(tuple_count=1000)
+        )
+        calibrator = ProblemCalibrator()
+        observe_simulation(calibrator, four_service_problem, report)
+        calibrated = calibrator.build_problem(default_transfer=1.0)
+        result = branch_and_bound(calibrated)
+        assert result.optimal
+        assert result.cost > 0

@@ -1,0 +1,114 @@
+"""Unit tests for streaming statistics and selectivity estimation."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.estimation import OnlineStatistics, ServiceObserver, estimate_selectivity
+from repro.exceptions import EstimationError
+
+
+class TestOnlineStatistics:
+    def test_matches_batch_statistics(self):
+        rng = random.Random(3)
+        values = [rng.uniform(0, 10) for _ in range(500)]
+        online = OnlineStatistics()
+        online.extend(values)
+        assert online.count == 500
+        assert online.mean == pytest.approx(statistics.fmean(values))
+        assert online.variance == pytest.approx(statistics.variance(values))
+        assert online.minimum == min(values)
+        assert online.maximum == max(values)
+
+    def test_empty_statistics(self):
+        online = OnlineStatistics()
+        assert online.mean == 0.0
+        assert online.variance == 0.0
+        assert online.standard_error == 0.0
+
+    def test_single_observation(self):
+        online = OnlineStatistics()
+        online.add(4.2)
+        assert online.mean == 4.2
+        assert online.variance == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        online = OnlineStatistics()
+        online.extend([1.0, 2.0, 3.0, 4.0])
+        low, high = online.confidence_interval()
+        assert low <= online.mean <= high
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(EstimationError):
+            OnlineStatistics().add(float("nan"))
+
+
+class TestEstimateSelectivity:
+    def test_point_estimate(self):
+        estimate = estimate_selectivity(inputs=200, outputs=50)
+        assert estimate.value == pytest.approx(0.25)
+        assert estimate.lower <= 0.25 <= estimate.upper
+        assert estimate.is_selective
+
+    def test_interval_narrows_with_more_data(self):
+        small = estimate_selectivity(inputs=20, outputs=10)
+        large = estimate_selectivity(inputs=2000, outputs=1000)
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_proliferative_estimate(self):
+        estimate = estimate_selectivity(inputs=100, outputs=250)
+        assert estimate.value == pytest.approx(2.5)
+        assert not estimate.is_selective
+        assert estimate.lower <= 2.5 <= estimate.upper
+
+    def test_lower_bound_never_negative(self):
+        estimate = estimate_selectivity(inputs=3, outputs=0)
+        assert estimate.lower == 0.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(EstimationError):
+            estimate_selectivity(inputs=0, outputs=0)
+        with pytest.raises(EstimationError):
+            estimate_selectivity(inputs=10, outputs=-1)
+
+
+class TestServiceObserver:
+    def test_cost_estimate_is_per_tuple(self):
+        observer = ServiceObserver("svc")
+        observer.record_call(processing_time=10.0, inputs=10, outputs=5)
+        observer.record_call(processing_time=20.0, inputs=10, outputs=6)
+        assert observer.observations == 2
+        assert observer.cost_estimate() == pytest.approx(1.5)
+
+    def test_selectivity_estimate_pools_counts(self):
+        observer = ServiceObserver("svc")
+        observer.record_call(1.0, inputs=50, outputs=20)
+        observer.record_call(1.0, inputs=50, outputs=30)
+        assert observer.selectivity_estimate().value == pytest.approx(0.5)
+
+    def test_no_observations_raises(self):
+        with pytest.raises(EstimationError):
+            ServiceObserver("svc").cost_estimate()
+
+    def test_invalid_observations_rejected(self):
+        observer = ServiceObserver("svc")
+        with pytest.raises(EstimationError):
+            observer.record_call(-1.0)
+        with pytest.raises(EstimationError):
+            observer.record_call(1.0, inputs=0)
+        with pytest.raises(EstimationError):
+            observer.record_call(1.0, outputs=-2)
+
+    def test_name_required(self):
+        with pytest.raises(EstimationError):
+            ServiceObserver("")
+
+    def test_confidence_interval(self):
+        observer = ServiceObserver("svc")
+        for value in (1.0, 1.2, 0.8, 1.1):
+            observer.record_call(value)
+        low, high = observer.cost_confidence_interval()
+        assert low <= observer.cost_estimate() <= high

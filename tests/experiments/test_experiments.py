@@ -1,0 +1,110 @@
+"""Integration tests: every experiment runs (at reduced size) and its claims hold.
+
+These use deliberately small parameters so the full test-suite stays fast; the
+benchmarks under ``benchmarks/`` run the full-size versions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    run_e1_optimality,
+    run_e2_pruning,
+    run_e3_scaling,
+    run_e4_plan_quality,
+    run_e5_selectivity,
+    run_e6_btsp,
+    run_e7_simulation,
+    run_e8_ablation,
+)
+
+
+class TestRegistry:
+    def test_all_eight_experiments_registered(self):
+        assert REGISTRY.ids() == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"]
+
+    def test_registry_run_dispatches(self):
+        result = REGISTRY.run("E1", sizes=(4,), instances_per_size=1)
+        assert result.experiment_id == "E1"
+
+
+class TestE1Optimality:
+    def test_branch_and_bound_matches_exact_baselines_everywhere(self):
+        result = run_e1_optimality(sizes=(4, 5, 6), instances_per_size=3)
+        for row in result.row_dicts():
+            assert row["bb = exhaustive"] == row["instances"]
+            assert row["bb = dp"] == row["instances"]
+            assert row["max relative gap"] <= 1e-9
+
+
+class TestE2Pruning:
+    def test_explored_fraction_shrinks_with_n(self):
+        result = run_e2_pruning(sizes=(5, 7, 9), instances_per_size=3)
+        rows = result.row_dicts()
+        fractions = [row["explored fraction"] for row in rows]
+        assert fractions[0] > fractions[-1]
+        for row in rows:
+            assert row["bb nodes"] < math.factorial(row["n"])
+
+
+class TestE3Scaling:
+    def test_branch_and_bound_beats_exhaustive_at_the_largest_size(self):
+        result = run_e3_scaling(sizes=(6, 8), instances_per_size=2, exhaustive_limit=8)
+        rows = result.row_dicts()
+        last = rows[-1]
+        assert last["bb ms"] < last["exhaustive ms"]
+        assert last["bb speedup vs exhaustive"] > 1.0
+
+
+class TestE4PlanQuality:
+    def test_ratios_are_at_least_one_and_centralized_degrades(self):
+        result = run_e4_plan_quality(
+            service_count=6, levels=(0.0, 1.0), instances_per_level=3
+        )
+        rows = result.row_dicts()
+        for row in rows:
+            for key, value in row.items():
+                if key.endswith("ratio"):
+                    assert value >= 1.0 - 1e-9
+        uniform_row, clustered_row = rows[0], rows[-1]
+        assert (
+            clustered_row["srivastava_centralized ratio"]
+            >= uniform_row["srivastava_centralized ratio"] - 1e-6
+        )
+        # Under full heterogeneity the communication-oblivious plan is measurably worse.
+        assert clustered_row["srivastava_centralized ratio"] > 1.0
+
+
+class TestE5Selectivity:
+    def test_all_regimes_remain_optimal(self):
+        result = run_e5_selectivity(service_count=6, instances_per_regime=2)
+        for row in result.row_dicts():
+            assert row["optimal (vs dp)"] is True
+            assert row["greedy/optimal ratio"] >= 1.0 - 1e-9
+
+
+class TestE6Btsp:
+    def test_reduction_agrees_with_dedicated_solver(self):
+        result = run_e6_btsp(sizes=(5, 6), instances_per_size=2)
+        for row in result.row_dicts():
+            assert row["optima agree"] == row["instances"]
+
+
+class TestE7Simulation:
+    def test_model_matches_simulation_closely(self):
+        result = run_e7_simulation(instances=1, service_count=5, tuple_count=800)
+        for row in result.row_dicts():
+            assert row["relative error"] < 0.05
+        assert any("ranks best" in note for note in result.notes)
+
+
+class TestE8Ablation:
+    def test_every_configuration_is_optimal_and_full_rules_prune_most(self):
+        result = run_e8_ablation(service_count=7, instances=3)
+        rows = {row["configuration"]: row for row in result.row_dicts()}
+        assert all(row["all optimal"] is True for row in rows.values())
+        assert rows["full algorithm"]["mean nodes"] <= rows["bound only, index order"]["mean nodes"]

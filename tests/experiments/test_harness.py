@@ -1,0 +1,65 @@
+"""Unit tests for the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import Experiment, ExperimentRegistry, ExperimentResult
+from repro.utils import Table
+
+
+def _dummy_result(experiment_id: str = "EX", rows: int = 2) -> ExperimentResult:
+    table = Table(["n", "value"], title="dummy")
+    for index in range(rows):
+        table.add_row(index, index * 0.5)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="a dummy experiment",
+        table=table,
+        parameters={"rows": rows},
+        notes=["a note"],
+    )
+
+
+class TestExperimentResult:
+    def test_to_markdown_contains_all_sections(self):
+        text = _dummy_result().to_markdown()
+        assert text.startswith("## EX")
+        assert "*Parameters:* rows=2" in text
+        assert "| n" in text
+        assert "* a note" in text
+
+    def test_row_dicts(self):
+        result = _dummy_result(rows=3)
+        assert result.row_dicts()[1] == {"n": 1, "value": 0.5}
+
+
+class TestExperimentRegistry:
+    def test_register_and_run(self):
+        registry = ExperimentRegistry()
+        registry.register(Experiment("EX", "t", "q", lambda **kw: _dummy_result(rows=kw.get("rows", 2))))
+        assert "EX" in registry
+        assert registry.ids() == ["EX"]
+        result = registry.run("EX", rows=4)
+        assert len(result.table) == 4
+
+    def test_duplicate_registration_rejected(self):
+        registry = ExperimentRegistry()
+        experiment = Experiment("EX", "t", "q", lambda **kw: _dummy_result())
+        registry.register(experiment)
+        with pytest.raises(ExperimentError):
+            registry.register(experiment)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            ExperimentRegistry().run("E404")
+
+    def test_run_all_with_overrides(self):
+        registry = ExperimentRegistry()
+        registry.register(Experiment("A", "t", "q", lambda **kw: _dummy_result("A", kw.get("rows", 1))))
+        registry.register(Experiment("B", "t", "q", lambda **kw: _dummy_result("B", kw.get("rows", 1))))
+        results = registry.run_all(A={"rows": 3})
+        assert [result.experiment_id for result in results] == ["A", "B"]
+        assert len(results[0].table) == 3
+        assert len(results[1].table) == 1

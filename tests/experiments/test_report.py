@@ -1,0 +1,67 @@
+"""Tests for the full-evaluation report generator."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    Experiment,
+    ExperimentRegistry,
+    REGISTRY,
+    generate_report,
+    render_report,
+    write_report,
+)
+from repro.experiments.e1_optimality import run_e1_optimality
+
+
+def _tiny_registry() -> ExperimentRegistry:
+    registry = ExperimentRegistry()
+    registry.register(
+        Experiment(
+            "E1",
+            "Optimality (tiny)",
+            "tiny",
+            lambda **kwargs: run_e1_optimality(sizes=(4,), instances_per_size=1),
+        )
+    )
+    return registry
+
+
+class TestRenderReport:
+    def test_contains_every_result_section(self):
+        results = [_tiny_registry().run("E1")]
+        text = render_report(results, title="Demo report")
+        assert text.startswith("# Demo report")
+        assert "## E1" in text
+        assert text.endswith("\n")
+
+
+class TestGenerateReport:
+    def test_generate_from_tiny_registry(self):
+        text = generate_report(_tiny_registry())
+        assert "## E1" in text
+        assert "branch-and-bound" in text.lower()
+
+    def test_overrides_are_applied(self):
+        registry = ExperimentRegistry()
+        captured: dict[str, object] = {}
+
+        def runner(**kwargs):
+            captured.update(kwargs)
+            return run_e1_optimality(sizes=(4,), instances_per_size=1)
+
+        registry.register(Experiment("EX", "t", "q", runner))
+        generate_report(registry, overrides={"EX": {"custom": 7}})
+        assert captured == {"custom": 7}
+
+    def test_quick_parameters_cover_all_registered_experiments(self):
+        from repro.experiments.report import _QUICK_PARAMETERS
+
+        assert set(_QUICK_PARAMETERS) == set(REGISTRY.ids())
+
+
+class TestWriteReport:
+    def test_writes_markdown_file(self, tmp_path):
+        path = write_report(_tiny_registry(), tmp_path / "report.md")
+        content = path.read_text()
+        assert content.startswith("# Reconstructed evaluation")
+        assert "## E1" in content

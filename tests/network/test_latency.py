@@ -1,0 +1,41 @@
+"""Unit tests for the link cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import LinkModel, per_tuple_cost
+
+
+class TestLinkModel:
+    def test_block_cost_combines_latency_and_bandwidth(self):
+        link = LinkModel(latency=0.01, bandwidth=1000.0)
+        # 10 tuples of 100 bytes = 1000 bytes -> 1 second transmission + 10 ms latency.
+        assert link.block_cost(tuple_size=100.0, block_size=10) == pytest.approx(1.01)
+
+    def test_per_tuple_cost_amortises_latency(self):
+        link = LinkModel(latency=0.1, bandwidth=float("inf"))
+        single = link.per_tuple_cost(tuple_size=100.0, block_size=1)
+        blocked = link.per_tuple_cost(tuple_size=100.0, block_size=100)
+        assert single == pytest.approx(0.1)
+        assert blocked == pytest.approx(0.001)
+
+    def test_infinite_bandwidth_is_pure_latency(self):
+        link = LinkModel(latency=0.02, bandwidth=float("inf"))
+        assert link.block_cost(10_000.0, 1) == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(latency=-0.1, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            LinkModel(latency=0.1, bandwidth=0.0)
+        link = LinkModel(latency=0.0, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            link.block_cost(tuple_size=0.0, block_size=1)
+        with pytest.raises(ValueError):
+            link.block_cost(tuple_size=1.0, block_size=0)
+
+    def test_functional_shorthand(self):
+        assert per_tuple_cost(0.01, 1e6, 1000.0, 10) == pytest.approx(
+            LinkModel(0.01, 1e6).per_tuple_cost(1000.0, 10)
+        )

@@ -1,0 +1,106 @@
+"""Unit tests for building cost matrices from topologies and placements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import (
+    clustered_matrix,
+    clustered_topology,
+    interpolate_to_uniform,
+    matrix_from_topology,
+    random_matrix,
+    random_placement,
+    uniform_topology,
+)
+
+
+class TestMatrixFromTopology:
+    def test_same_host_pairs_cost_zero(self):
+        topology = uniform_topology(2, latency=0.05)
+        matrix = matrix_from_topology(topology, ["host0", "host0", "host1"])
+        assert matrix.cost(0, 1) == 0.0
+        assert matrix.cost(0, 2) > 0.0
+
+    def test_per_tuple_cost_uses_block_size(self):
+        topology = uniform_topology(2, latency=0.1, bandwidth=float("inf"))
+        single = matrix_from_topology(topology, ["host0", "host1"], block_size=1)
+        blocked = matrix_from_topology(topology, ["host0", "host1"], block_size=10)
+        assert blocked.cost(0, 1) == pytest.approx(single.cost(0, 1) / 10)
+
+    def test_unknown_host_rejected(self):
+        topology = uniform_topology(2)
+        with pytest.raises(KeyError):
+            matrix_from_topology(topology, ["host0", "nope"])
+
+
+class TestRandomPlacement:
+    def test_distinct_placement_uses_unique_hosts(self):
+        topology = uniform_topology(6)
+        placement = random_placement(topology, 5, seed=1, distinct=True)
+        assert len(set(placement)) == 5
+
+    def test_distinct_placement_requires_enough_hosts(self):
+        topology = uniform_topology(3)
+        with pytest.raises(ValueError):
+            random_placement(topology, 4, distinct=True)
+
+    def test_non_distinct_placement_allows_reuse(self):
+        topology = uniform_topology(2)
+        placement = random_placement(topology, 6, seed=2, distinct=False)
+        assert len(placement) == 6
+        assert set(placement).issubset(set(topology.host_names()))
+
+    def test_seeded(self):
+        topology = uniform_topology(6)
+        assert random_placement(topology, 4, seed=9) == random_placement(topology, 4, seed=9)
+
+
+class TestInterpolation:
+    def test_level_zero_is_uniform_with_same_mean(self):
+        matrix = clustered_matrix(5, seed=3)
+        uniform = interpolate_to_uniform(matrix, 0.0)
+        assert uniform.is_uniform()
+        assert uniform.mean_cost() == pytest.approx(matrix.mean_cost())
+
+    def test_level_one_is_identity(self):
+        matrix = clustered_matrix(5, seed=3)
+        assert interpolate_to_uniform(matrix, 1.0) == matrix
+
+    def test_mean_preserved_across_levels(self):
+        matrix = clustered_matrix(6, seed=7)
+        for level in (0.0, 0.3, 0.6, 1.0):
+            blended = interpolate_to_uniform(matrix, level)
+            assert blended.mean_cost() == pytest.approx(matrix.mean_cost())
+
+    def test_heterogeneity_monotone_in_level(self):
+        matrix = clustered_matrix(6, seed=7)
+        values = [interpolate_to_uniform(matrix, level).heterogeneity() for level in (0.0, 0.5, 1.0)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate_to_uniform(clustered_matrix(4), 1.5)
+
+
+class TestSyntheticMatrices:
+    def test_random_matrix_symmetry(self):
+        assert random_matrix(5, seed=1, symmetric=True).is_symmetric()
+
+    def test_random_matrix_range(self):
+        matrix = random_matrix(5, seed=1, low=2.0, high=3.0)
+        assert matrix.min_cost() >= 2.0
+        assert matrix.max_cost() <= 3.0
+
+    def test_random_matrix_invalid_range(self):
+        with pytest.raises(ValueError):
+            random_matrix(4, low=2.0, high=1.0)
+
+    def test_clustered_matrix_structure(self):
+        matrix = clustered_matrix(6, cluster_count=2, seed=2, intra_cost=0.1, inter_cost=5.0, jitter=0.0)
+        # Services 0,2,4 share a cluster; 1,3,5 share the other.
+        assert matrix.cost(0, 2) == pytest.approx(0.1)
+        assert matrix.cost(0, 1) == pytest.approx(5.0)
+
+    def test_clustered_matrix_seeded(self):
+        assert clustered_matrix(5, seed=4) == clustered_matrix(5, seed=4)

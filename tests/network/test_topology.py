@@ -1,0 +1,120 @@
+"""Unit tests for the topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import (
+    Host,
+    LinkModel,
+    NetworkTopology,
+    clustered_topology,
+    euclidean_topology,
+    random_topology,
+    uniform_topology,
+)
+
+
+class TestNetworkTopology:
+    def test_duplicate_host_names_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTopology([Host("a"), Host("a")])
+
+    def test_link_lookup_and_self_link(self):
+        topology = NetworkTopology([Host("a"), Host("b")])
+        topology.set_link("a", "b", LinkModel(0.1, 1e6))
+        assert topology.link("a", "b").latency == 0.1
+        assert topology.link("a", "a").latency == 0.0
+        with pytest.raises(KeyError):
+            topology.link("b", "a")
+
+    def test_symmetric_link_definition(self):
+        topology = NetworkTopology([Host("a"), Host("b")])
+        topology.set_link("a", "b", LinkModel(0.2, 1e6), symmetric=True)
+        assert topology.link("b", "a").latency == 0.2
+
+    def test_self_link_definition_rejected(self):
+        topology = NetworkTopology([Host("a")])
+        with pytest.raises(ValueError):
+            topology.set_link("a", "a", LinkModel(0.1, 1e6))
+
+    def test_unknown_host_lookup(self):
+        topology = uniform_topology(2)
+        with pytest.raises(KeyError):
+            topology.host("missing")
+
+    def test_per_tuple_cost_same_host_is_free(self):
+        topology = uniform_topology(3)
+        name = topology.host_names()[0]
+        assert topology.per_tuple_cost(name, name, 1024.0) == 0.0
+
+    def test_describe_lists_hosts(self):
+        text = clustered_topology(2, 2).describe()
+        assert "dc0" in text and "dc1" in text
+
+
+class TestGenerators:
+    def test_uniform_topology_links_every_pair(self):
+        topology = uniform_topology(4, latency=0.01)
+        names = topology.host_names()
+        assert len(names) == 4
+        for a in names:
+            for b in names:
+                if a != b:
+                    assert topology.link(a, b).latency == 0.01
+
+    def test_random_topology_is_seeded(self):
+        a = random_topology(5, seed=3)
+        b = random_topology(5, seed=3)
+        c = random_topology(5, seed=4)
+        pair = (a.host_names()[0], a.host_names()[1])
+        assert a.link(*pair).latency == b.link(*pair).latency
+        assert a.link(*pair).latency != c.link(*pair).latency
+
+    def test_random_topology_symmetry_flag(self):
+        symmetric = random_topology(4, seed=1, symmetric=True)
+        names = symmetric.host_names()
+        assert symmetric.link(names[0], names[1]).latency == symmetric.link(names[1], names[0]).latency
+        asymmetric = random_topology(4, seed=1, symmetric=False)
+        latencies = [
+            (asymmetric.link(a, b).latency, asymmetric.link(b, a).latency)
+            for a in names
+            for b in names
+            if a < b
+        ]
+        assert any(abs(x - y) > 1e-12 for x, y in latencies)
+
+    def test_euclidean_topology_respects_distance_monotonicity(self):
+        topology = euclidean_topology(6, seed=2, latency_per_unit=1.0, base_latency=0.0)
+        hosts = topology.hosts
+        import math
+
+        for a in hosts:
+            for b in hosts:
+                if a.name == b.name:
+                    continue
+                expected = math.dist(a.position, b.position)
+                assert topology.link(a.name, b.name).latency == pytest.approx(expected)
+
+    def test_clustered_topology_intra_cheaper_than_inter(self):
+        topology = clustered_topology(2, 3, seed=5, intra_latency=0.001, inter_latency=0.1)
+        hosts = topology.hosts
+        intra = [
+            topology.link(a.name, b.name).latency
+            for a in hosts
+            for b in hosts
+            if a.name != b.name and a.cluster == b.cluster
+        ]
+        inter = [
+            topology.link(a.name, b.name).latency
+            for a in hosts
+            for b in hosts
+            if a.cluster != b.cluster
+        ]
+        assert max(intra) < min(inter)
+
+    def test_generator_argument_validation(self):
+        with pytest.raises(ValueError):
+            uniform_topology(0)
+        with pytest.raises(ValueError):
+            clustered_topology(0, 2)

@@ -1,0 +1,94 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import Simulator
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        simulator = Simulator()
+        times: list[float] = []
+        simulator.schedule(1.0, lambda: times.append(simulator.now))
+        simulator.schedule(2.5, lambda: times.append(simulator.now))
+        end = simulator.run()
+        assert times == [1.0, 2.5]
+        assert end == 2.5
+        assert simulator.events_processed == 2
+
+    def test_schedule_in_uses_relative_delay(self):
+        simulator = Simulator()
+        observed: list[float] = []
+
+        def first() -> None:
+            simulator.schedule_in(0.5, lambda: observed.append(simulator.now))
+
+        simulator.schedule(1.0, first)
+        simulator.run()
+        assert observed == [1.5]
+
+    def test_cannot_schedule_in_the_past(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: simulator.schedule(0.5, lambda: None))
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_negative_delay_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule_in(-0.1, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        simulator = Simulator()
+        fired: list[float] = []
+        simulator.schedule(1.0, lambda: fired.append(1.0))
+        simulator.schedule(5.0, lambda: fired.append(5.0))
+        simulator.run(until=2.0)
+        assert fired == [1.0]
+        assert simulator.now == 2.0
+        assert simulator.pending_events == 1
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+
+        def reschedule() -> None:
+            simulator.schedule_in(1.0, reschedule)
+
+        simulator.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=100)
+
+    def test_step_executes_one_event(self):
+        simulator = Simulator()
+        fired: list[int] = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(2.0, lambda: fired.append(2))
+        assert simulator.step()
+        assert fired == [1]
+        assert simulator.step()
+        assert not simulator.step()
+
+    def test_reset(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        simulator.reset()
+        assert simulator.now == 0.0
+        assert simulator.events_processed == 0
+        assert simulator.pending_events == 0
+
+    def test_events_scheduled_during_run_are_processed(self):
+        simulator = Simulator()
+        fired: list[str] = []
+
+        def cascade(depth: int) -> None:
+            fired.append(f"depth{depth}")
+            if depth < 3:
+                simulator.schedule_in(1.0, lambda: cascade(depth + 1))
+
+        simulator.schedule(0.0, lambda: cascade(0))
+        simulator.run()
+        assert fired == ["depth0", "depth1", "depth2", "depth3"]

@@ -1,0 +1,161 @@
+"""Unit tests for the pipeline entities (filter policy, nodes, source, sink)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Service
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    Block,
+    DataTuple,
+    EndOfStream,
+    FilterMode,
+    FilterPolicy,
+    ServiceNode,
+    Simulator,
+    SinkNode,
+    SourceNode,
+)
+
+
+class TestFilterPolicy:
+    def test_expected_mode_tracks_selectivity(self):
+        policy = FilterPolicy(0.3, FilterMode.EXPECTED, random.Random(0))
+        outputs = sum(policy.outputs_for_next_tuple() for _ in range(1000))
+        assert outputs == pytest.approx(300, abs=1)
+
+    def test_expected_mode_handles_proliferative_selectivity(self):
+        policy = FilterPolicy(2.5, FilterMode.EXPECTED, random.Random(0))
+        outputs = sum(policy.outputs_for_next_tuple() for _ in range(400))
+        assert outputs == pytest.approx(1000, abs=1)
+
+    def test_expected_mode_is_deterministic(self):
+        first = FilterPolicy(0.7, FilterMode.EXPECTED, random.Random(1))
+        second = FilterPolicy(0.7, FilterMode.EXPECTED, random.Random(99))
+        assert [first.outputs_for_next_tuple() for _ in range(50)] == [
+            second.outputs_for_next_tuple() for _ in range(50)
+        ]
+
+    def test_stochastic_mode_converges_to_selectivity(self):
+        policy = FilterPolicy(0.4, FilterMode.STOCHASTIC, random.Random(7))
+        outputs = sum(policy.outputs_for_next_tuple() for _ in range(5000))
+        assert outputs / 5000 == pytest.approx(0.4, abs=0.03)
+
+    def test_stochastic_mode_proliferative(self):
+        policy = FilterPolicy(1.5, FilterMode.STOCHASTIC, random.Random(7))
+        samples = [policy.outputs_for_next_tuple() for _ in range(2000)]
+        assert set(samples) <= {1, 2}
+        assert sum(samples) / 2000 == pytest.approx(1.5, abs=0.05)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            FilterPolicy(0.5, "bogus", random.Random(0))
+
+
+def _run_single_node(
+    selectivity: float = 1.0,
+    cost: float = 1.0,
+    transfer: float = 0.5,
+    tuples: int = 10,
+    block_size: int = 1,
+    threads: int = 1,
+) -> tuple[ServiceNode, SinkNode, Simulator]:
+    simulator = Simulator()
+    sink = SinkNode(simulator)
+    node = ServiceNode(
+        simulator,
+        Service("svc", cost=cost, selectivity=selectivity, threads=threads),
+        service_index=0,
+        downstream=sink,
+        transfer_cost=transfer,
+        block_size=block_size,
+    )
+    source = SourceNode(simulator, node, tuple_count=tuples, block_size=block_size)
+    source.start()
+    simulator.run()
+    return node, sink, simulator
+
+
+class TestServiceNode:
+    def test_single_threaded_node_serializes_processing_and_transfer(self):
+        node, sink, simulator = _run_single_node(cost=1.0, transfer=0.5, tuples=10)
+        # Each tuple occupies the thread for 1.0 (process) + 0.5 (send): makespan ~ 15.
+        assert sink.completed_at == pytest.approx(15.0)
+        assert sink.tuples_received == 10
+        assert node.busy_time == pytest.approx(15.0)
+
+    def test_filtering_reduces_transfer_work(self):
+        node, sink, _ = _run_single_node(selectivity=0.5, cost=1.0, transfer=1.0, tuples=100)
+        assert sink.tuples_received == 50
+        assert node.counters.tuples_out == 50
+        assert node.counters.transfer_time == pytest.approx(50.0)
+        assert node.observed_selectivity == pytest.approx(0.5)
+
+    def test_blocked_shipping_flushes_the_final_partial_block(self):
+        node, sink, _ = _run_single_node(tuples=25, block_size=10)
+        assert sink.tuples_received == 25
+        assert node.counters.blocks_sent == 3  # 10 + 10 + 5
+        assert sink.finished
+
+    def test_multi_threaded_node_overlaps_work(self):
+        single, sink_single, _ = _run_single_node(cost=1.0, transfer=0.0, tuples=20, threads=1)
+        multi, sink_multi, _ = _run_single_node(cost=1.0, transfer=0.0, tuples=20, threads=2)
+        assert sink_multi.completed_at < sink_single.completed_at
+
+    def test_eos_forwarded_exactly_once(self):
+        _, sink, _ = _run_single_node(tuples=5)
+        assert sink.finished
+        assert sink.completed_at is not None
+
+    def test_zero_tuples_still_terminates(self):
+        _, sink, _ = _run_single_node(tuples=0)
+        assert sink.finished
+        assert sink.tuples_received == 0
+
+    def test_invalid_parameters_rejected(self):
+        simulator = Simulator()
+        sink = SinkNode(simulator)
+        service = Service("svc", cost=1.0, selectivity=0.5)
+        with pytest.raises(SimulationError):
+            ServiceNode(simulator, service, 0, sink, transfer_cost=-1.0)
+        with pytest.raises(SimulationError):
+            ServiceNode(simulator, service, 0, sink, transfer_cost=0.0, block_size=0)
+
+
+class TestSourceAndSink:
+    def test_source_emits_requested_tuples(self):
+        simulator = Simulator()
+        sink = SinkNode(simulator)
+        source = SourceNode(simulator, sink, tuple_count=7, block_size=3)
+        source.start()
+        simulator.run()
+        assert sink.tuples_received == 7
+        assert sink.finished
+
+    def test_source_interarrival_spreads_emissions(self):
+        simulator = Simulator()
+        sink = SinkNode(simulator)
+        source = SourceNode(simulator, sink, tuple_count=5, interarrival=2.0)
+        source.start()
+        simulator.run()
+        assert sink.arrival_times == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_sink_latency_accounting(self):
+        simulator = Simulator()
+        sink = SinkNode(simulator)
+        simulator.schedule(3.0, lambda: sink.receive(Block((DataTuple(0, created_at=1.0),))))
+        simulator.schedule(4.0, lambda: sink.receive(EndOfStream(1)))
+        simulator.run()
+        assert sink.latencies == [2.0]
+        assert sink.completed_at == 4.0
+
+    def test_source_parameter_validation(self):
+        simulator = Simulator()
+        sink = SinkNode(simulator)
+        with pytest.raises(SimulationError):
+            SourceNode(simulator, sink, tuple_count=-1)
+        with pytest.raises(SimulationError):
+            SourceNode(simulator, sink, tuple_count=1, interarrival=-0.5)

@@ -1,0 +1,61 @@
+"""Unit tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        queue.schedule(2.0, lambda: fired.append("late"))
+        queue.schedule(1.0, lambda: fired.append("early"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_scheduling_order(self):
+        queue = EventQueue()
+        fired: list[int] = []
+        for index in range(5):
+            queue.schedule(1.0, lambda i=index: fired.append(i))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        keep = queue.schedule(1.0, lambda: fired.append("keep"))
+        cancel = queue.schedule(0.5, lambda: fired.append("cancel"))
+        cancel.cancel()
+        event = queue.pop()
+        assert event is keep
+        assert len(queue) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(3.0, lambda: None)
+        queue.schedule(1.5, lambda: None)
+        assert queue.peek_time() == 1.5
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.schedule(1.0, lambda: None)
+        assert queue
+        assert len(queue) == 1
+        queue.clear()
+        assert len(queue) == 0
+
+    def test_pop_on_empty_returns_none(self):
+        assert EventQueue().pop() is None

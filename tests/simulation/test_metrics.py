@@ -1,0 +1,82 @@
+"""Unit tests for the simulation report metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import ServiceMetrics, SimulationReport, SimulationConfig, simulate_plan
+
+
+def _metrics(**overrides) -> ServiceMetrics:
+    defaults = dict(
+        service_index=0,
+        name="svc",
+        position=0,
+        tuples_in=100,
+        tuples_out=50,
+        blocks_sent=50,
+        processing_time=10.0,
+        transfer_time=5.0,
+    )
+    defaults.update(overrides)
+    return ServiceMetrics(**defaults)
+
+
+class TestServiceMetrics:
+    def test_busy_time_sums_components(self):
+        assert _metrics().busy_time == 15.0
+
+    def test_observed_selectivity(self):
+        assert _metrics().observed_selectivity == pytest.approx(0.5)
+        assert _metrics(tuples_in=0, tuples_out=0).observed_selectivity == 0.0
+
+    def test_busy_per_input_tuple(self):
+        assert _metrics().busy_per_input_tuple == pytest.approx(0.15)
+        assert _metrics(tuples_in=0).busy_per_input_tuple == 0.0
+
+    def test_utilization_is_clamped(self):
+        assert _metrics().utilization(30.0) == pytest.approx(0.5)
+        assert _metrics().utilization(10.0) == 1.0
+        assert _metrics().utilization(0.0) == 0.0
+
+
+class TestSimulationReport:
+    def test_report_tables_and_description(self, three_service_problem):
+        report = simulate_plan(three_service_problem, (0, 1, 2), SimulationConfig(tuple_count=200))
+        table = report.to_table()
+        assert len(table) == 3
+        assert "makespan" in report.describe()
+
+    def test_derived_quantities(self):
+        report = SimulationReport(
+            order=(0,),
+            tuple_count=100,
+            tuples_delivered=40,
+            makespan=50.0,
+            predicted_cost=0.5,
+            predicted_bottleneck_position=0,
+            observed_bottleneck_position=0,
+            events_processed=10,
+            services=[_metrics()],
+        )
+        assert report.normalized_makespan == pytest.approx(0.5)
+        assert report.throughput == pytest.approx(2.0)
+        assert report.model_relative_error == pytest.approx(0.0)
+        assert report.bottleneck_matches_model
+        assert report.busy_per_source_tuple(0) == pytest.approx(0.15)
+
+    def test_zero_tuple_report_is_well_defined(self):
+        report = SimulationReport(
+            order=(0,),
+            tuple_count=0,
+            tuples_delivered=0,
+            makespan=0.0,
+            predicted_cost=0.0,
+            predicted_bottleneck_position=0,
+            observed_bottleneck_position=0,
+            events_processed=0,
+            services=[],
+        )
+        assert report.normalized_makespan == 0.0
+        assert report.throughput == 0.0
+        assert report.model_relative_error == 0.0

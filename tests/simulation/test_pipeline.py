@@ -1,0 +1,101 @@
+"""Integration tests: the simulated pipeline vs the analytic cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import branch_and_bound
+from repro.exceptions import SimulationError
+from repro.simulation import FilterMode, PipelineSimulator, SimulationConfig, simulate_plan
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(tuple_count=-1)
+        with pytest.raises(SimulationError):
+            SimulationConfig(block_size=0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(filter_mode="bogus")
+        with pytest.raises(SimulationError):
+            SimulationConfig(source_interarrival=-1.0)
+
+
+class TestPipelineSimulator:
+    def test_normalized_makespan_converges_to_bottleneck_cost(self, four_service_problem):
+        order = branch_and_bound(four_service_problem).order
+        report = simulate_plan(
+            four_service_problem, order, SimulationConfig(tuple_count=2000)
+        )
+        assert report.model_relative_error < 0.02
+        assert report.predicted_cost == pytest.approx(four_service_problem.cost(order))
+
+    def test_bottleneck_stage_matches_model(self, four_service_problem):
+        order = branch_and_bound(four_service_problem).order
+        report = simulate_plan(four_service_problem, order, SimulationConfig(tuple_count=1000))
+        assert report.bottleneck_matches_model
+
+    def test_plan_ranking_is_preserved(self, four_service_problem):
+        problem = four_service_problem
+        import itertools
+
+        orders = sorted(itertools.permutations(range(4)), key=problem.cost)
+        best, worst = orders[0], orders[-1]
+        simulator = PipelineSimulator(problem, SimulationConfig(tuple_count=800))
+        assert (
+            simulator.simulate(best).normalized_makespan
+            < simulator.simulate(worst).normalized_makespan
+        )
+
+    def test_per_service_busy_time_matches_stage_terms(self, four_service_problem):
+        order = branch_and_bound(four_service_problem).order
+        report = simulate_plan(four_service_problem, order, SimulationConfig(tuple_count=2000))
+        stages = four_service_problem.stage_costs(order)
+        for stage in stages:
+            simulated = report.busy_per_source_tuple(stage.position)
+            assert simulated == pytest.approx(stage.total, rel=0.05, abs=1e-6)
+
+    def test_observed_selectivities_track_parameters(self, four_service_problem):
+        order = (0, 1, 2, 3)
+        report = simulate_plan(four_service_problem, order, SimulationConfig(tuple_count=2000))
+        for metrics in report.services:
+            expected = four_service_problem.selectivities[metrics.service_index]
+            if metrics.tuples_in > 100:
+                assert metrics.observed_selectivity == pytest.approx(expected, abs=0.05)
+
+    def test_stochastic_mode_is_seeded_and_close_to_expected(self, four_service_problem):
+        order = (0, 1, 2, 3)
+        config = SimulationConfig(tuple_count=1500, filter_mode=FilterMode.STOCHASTIC, seed=11)
+        first = simulate_plan(four_service_problem, order, config)
+        second = simulate_plan(four_service_problem, order, config)
+        assert first.makespan == pytest.approx(second.makespan)
+        expected_report = simulate_plan(four_service_problem, order, SimulationConfig(tuple_count=1500))
+        assert first.normalized_makespan == pytest.approx(
+            expected_report.normalized_makespan, rel=0.15
+        )
+
+    def test_block_shipping_reduces_event_count(self, four_service_problem):
+        order = (0, 1, 2, 3)
+        single = simulate_plan(four_service_problem, order, SimulationConfig(tuple_count=400))
+        blocked = simulate_plan(
+            four_service_problem, order, SimulationConfig(tuple_count=400, block_size=20)
+        )
+        assert blocked.events_processed < single.events_processed
+        assert blocked.tuples_delivered == single.tuples_delivered
+
+    def test_invalid_plan_rejected(self, four_service_problem):
+        simulator = PipelineSimulator(four_service_problem)
+        with pytest.raises(Exception):
+            simulator.simulate((0, 1))
+
+    def test_sink_transfer_is_simulated(self, three_service_problem):
+        problem = three_service_problem.with_sink_transfer([2.0, 2.0, 2.0])
+        order = (0, 1, 2)
+        report = simulate_plan(problem, order, SimulationConfig(tuple_count=1000))
+        assert report.model_relative_error < 0.05
+
+    def test_precedence_constrained_plan_runs(self, constrained_problem):
+        order = branch_and_bound(constrained_problem).order
+        report = simulate_plan(constrained_problem, order, SimulationConfig(tuple_count=300))
+        assert report.tuples_delivered >= 0
+        assert report.makespan > 0

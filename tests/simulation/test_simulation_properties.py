@@ -1,0 +1,84 @@
+"""Property-based tests for the execution simulator.
+
+The analytic bounds that must hold for *any* instance and *any* plan:
+
+* the simulated makespan is at least ``tuple_count`` times the bottleneck term
+  (the slowest stage cannot be faster than its sustained rate allows), up to
+  the one-pipeline-fill slack,
+* the simulated makespan is at most ``tuple_count`` times the *sum* of the
+  stage terms (a fully serialised execution),
+* conservation: no stage emits more tuples than its selectivity allows (in
+  expected-value mode), and the sink never receives more tuples than the
+  source emitted times the product of all expansion factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OrderingProblem
+from repro.simulation import SimulationConfig, simulate_plan
+
+
+@st.composite
+def simulation_cases(draw):
+    size = draw(st.integers(2, 4))
+    costs = draw(st.lists(st.floats(0.01, 3.0, allow_nan=False), min_size=size, max_size=size))
+    selectivities = draw(
+        st.lists(st.floats(0.1, 1.5, allow_nan=False), min_size=size, max_size=size)
+    )
+    flat = draw(
+        st.lists(st.floats(0.0, 2.0, allow_nan=False), min_size=size * size, max_size=size * size)
+    )
+    rows = [[0.0 if i == j else flat[i * size + j] for j in range(size)] for i in range(size)]
+    problem = OrderingProblem.from_parameters(costs, selectivities, rows)
+    order = draw(st.permutations(list(range(size))))
+    tuple_count = draw(st.integers(50, 200))
+    return problem, tuple(order), tuple_count
+
+
+@settings(max_examples=25, deadline=None)
+@given(simulation_cases())
+def test_makespan_bounded_by_bottleneck_and_serial_execution(case):
+    problem, order, tuple_count = case
+    report = simulate_plan(problem, order, SimulationConfig(tuple_count=tuple_count))
+    stages = problem.stage_costs(order)
+    bottleneck = max(stage.total for stage in stages)
+    serial = sum(stage.total for stage in stages)
+    # Lower bound: the bottleneck stage needs at least (tuple_count - 1) * term
+    # after its first tuple arrives.
+    assert report.makespan >= (tuple_count - 1) * bottleneck - 1e-6
+    # Upper bound: even a fully serialised execution finishes within
+    # tuple_count * (sum of terms) plus one pipeline fill.
+    assert report.makespan <= tuple_count * serial + serial + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(simulation_cases())
+def test_tuple_conservation_in_expected_mode(case):
+    problem, order, tuple_count = case
+    report = simulate_plan(problem, order, SimulationConfig(tuple_count=tuple_count))
+    incoming = tuple_count
+    for metrics in report.services:
+        sigma = problem.selectivities[metrics.service_index]
+        assert metrics.tuples_in == incoming
+        # Expected-value thinning keeps the emitted count within one tuple of sigma * inputs.
+        assert abs(metrics.tuples_out - sigma * metrics.tuples_in) <= 1.0 + 1e-9
+        incoming = metrics.tuples_out
+    assert report.tuples_delivered == incoming
+    expansion = math.prod(max(problem.selectivities[i], 1.0) for i in order)
+    assert report.tuples_delivered <= tuple_count * expansion + len(order)
+
+
+@settings(max_examples=15, deadline=None)
+@given(simulation_cases(), st.integers(2, 16))
+def test_block_size_does_not_change_delivered_tuples(case, block_size):
+    problem, order, tuple_count = case
+    single = simulate_plan(problem, order, SimulationConfig(tuple_count=tuple_count))
+    blocked = simulate_plan(
+        problem, order, SimulationConfig(tuple_count=tuple_count, block_size=block_size)
+    )
+    assert blocked.tuples_delivered == single.tuples_delivered

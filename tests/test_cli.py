@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serialization import load_problem, save_problem
+from repro.workloads import credit_card_screening
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    return str(save_problem(credit_card_screening(), tmp_path / "problem.json"))
+
+
+class TestGenerate:
+    def test_generates_a_loadable_problem(self, tmp_path, capsys):
+        output = tmp_path / "generated.json"
+        assert main(["generate", "--services", "5", "--seed", "3", "-o", str(output)]) == 0
+        problem = load_problem(output)
+        assert problem.size == 5
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generation_is_seeded(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        main(["generate", "--services", "6", "--seed", "9", "-o", str(first)])
+        main(["generate", "--services", "6", "--seed", "9", "-o", str(second)])
+        assert load_problem(first).costs == load_problem(second).costs
+
+
+class TestOptimize:
+    def test_human_readable_output(self, problem_file, capsys):
+        assert main(["optimize", problem_file]) == 0
+        output = capsys.readouterr().out
+        assert "bottleneck" in output
+        assert "branch_and_bound" in output
+
+    def test_json_output(self, problem_file, capsys):
+        assert main(["optimize", problem_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "branch_and_bound"
+        assert payload["optimal"] is True
+        assert len(payload["plan"]["stages"]) == 4
+
+    def test_alternative_algorithm(self, problem_file, capsys):
+        assert main(["optimize", problem_file, "--algorithm", "greedy_cheapest_cost", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "greedy_cheapest_cost"
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["optimize", str(tmp_path / "missing.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_defaults_to_the_optimal_plan(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--tuples", "300", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tuples_delivered"] >= 0
+        assert payload["relative_error"] < 0.2
+
+    def test_explicit_order(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--order", "3,2,1,0", "--tuples", "200"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_invalid_order_rejected(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--order", "0,1"]) == 2
+        assert "permutation" in capsys.readouterr().err
+
+    def test_non_numeric_order_rejected(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--order", "a,b,c,d"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestScenariosAndExperiments:
+    def test_list_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "credit-card-screening" in output
+        assert "federated-document-pipeline" in output
+
+    def test_optimize_named_scenario(self, capsys):
+        assert main(["scenarios", "sensor-quality-pipeline"]) == 0
+        assert "bottleneck" in capsys.readouterr().out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["scenarios", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_experiment_by_id(self, capsys, monkeypatch):
+        # Replace E1 with a tiny-parameter variant so the CLI test stays fast.
+        from repro.experiments import REGISTRY, Experiment
+        from repro.experiments.e1_optimality import run_e1_optimality
+
+        tiny = Experiment(
+            "E1",
+            "Optimality (tiny)",
+            "tiny variant for the CLI test",
+            lambda **kwargs: run_e1_optimality(sizes=(4,), instances_per_size=1),
+        )
+        monkeypatch.setitem(REGISTRY._experiments, "E1", tiny)
+        assert main(["experiment", "e1"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("## E1")
+
+    def test_unknown_experiment_id(self, capsys):
+        assert main(["experiment", "E42"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

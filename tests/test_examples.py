@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example runs end to end.
+
+The examples double as documentation; these tests keep them from rotting.
+Each example module is imported from its file and its ``main()`` executed with
+stdout captured.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIRECTORY = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIRECTORY.glob("*.py"))
+
+
+def _load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_three_examples_ship_with_the_repository(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_runs_to_completion(self, path, capsys):
+        module = _load_example(path)
+        assert hasattr(module, "main"), f"{path.name} must expose a main() function"
+        module.main()
+        output = capsys.readouterr().out
+        assert output.strip(), f"{path.name} produced no output"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_has_a_module_docstring(self, path):
+        module = _load_example(path)
+        assert module.__doc__ and len(module.__doc__) > 100

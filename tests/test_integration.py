@@ -1,0 +1,114 @@
+"""End-to-end integration tests spanning every subsystem.
+
+These follow the lifecycle a deployment of the system would run:
+
+    observe services  ->  calibrate a problem  ->  optimize the ordering
+    ->  deploy the choreography  ->  execute (simulate)  ->  verify response time
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import branch_and_bound, compare, exhaustive_search
+from repro.estimation import ProblemCalibrator, observe_simulation
+from repro.network import clustered_topology, matrix_from_topology, random_placement
+from repro.simulation import SimulationConfig, simulate_plan
+from repro.workflow import QueryPlanner, ServiceCatalog, ServiceDescriptor, parse_query
+from repro.workloads import credit_card_screening, default_spec, generate_problem
+
+
+class TestOptimizeThenSimulate:
+    def test_optimal_plan_is_fastest_in_simulation(self):
+        """The optimizer's ranking carries over to simulated execution."""
+        problem = credit_card_screening()
+        results = compare(
+            problem,
+            algorithms=["branch_and_bound", "srivastava_centralized", "greedy_cheapest_cost"],
+        )
+        simulated = {
+            name: simulate_plan(problem, result.plan.order, SimulationConfig(tuple_count=1200))
+            for name, result in results.items()
+        }
+        optimal = simulated["branch_and_bound"].normalized_makespan
+        for name, report in simulated.items():
+            assert optimal <= report.normalized_makespan + 1e-6, name
+
+    def test_simulation_matches_model_on_generated_workload(self):
+        problem = generate_problem(default_spec(6), seed=42)
+        order = branch_and_bound(problem).order
+        report = simulate_plan(problem, order, SimulationConfig(tuple_count=1500))
+        assert report.model_relative_error < 0.03
+        assert report.bottleneck_matches_model
+
+
+class TestCalibrationLoop:
+    def test_observe_calibrate_reoptimize(self):
+        """Calibrating from a simulated trace reproduces the optimizer's decision."""
+        problem = credit_card_screening()
+        # Execute an arbitrary (suboptimal) plan and observe it.
+        initial_order = tuple(range(problem.size))
+        report = simulate_plan(problem, initial_order, SimulationConfig(tuple_count=2000))
+        calibrator = ProblemCalibrator()
+        observe_simulation(calibrator, problem, report)
+        calibrated = calibrator.build_problem(default_transfer=problem.transfer.mean_cost())
+
+        optimal_true = branch_and_bound(problem)
+        optimal_calibrated = branch_and_bound(calibrated)
+        # The calibrated problem only has measurements for the links the initial
+        # plan exercised; the recovered service parameters must still be accurate
+        # enough that the calibrated optimum is a good plan on the *true* problem.
+        names = [calibrated.service(index).name for index in optimal_calibrated.order]
+        replayed_order = [problem.service_index(name) for name in names]
+        replayed_cost = problem.cost(replayed_order)
+        assert replayed_cost <= problem.cost(initial_order) + 1e-9
+        assert replayed_cost <= optimal_true.cost * 1.5
+
+
+class TestDeclarativePipeline:
+    def test_query_to_simulated_execution(self):
+        """Full path: textual query -> planner -> choreography -> simulation."""
+        topology = clustered_topology(2, 3, seed=11)
+        hosts = topology.host_names()
+        catalog = ServiceCatalog(
+            [
+                ServiceDescriptor("ingest", host=hosts[0], cost=0.5, selectivity=1.0, produces={"doc"}),
+                ServiceDescriptor(
+                    "language_filter", host=hosts[1], cost=1.0, selectivity=0.6, consumes={"doc"}
+                ),
+                ServiceDescriptor(
+                    "toxicity_filter", host=hosts[3], cost=2.0, selectivity=0.4, consumes={"doc"}
+                ),
+                ServiceDescriptor(
+                    "enrich", host=hosts[4], cost=4.0, selectivity=1.0, consumes={"doc"}
+                ),
+            ]
+        )
+        planner = QueryPlanner(catalog, topology, tuple_size=4096.0, block_size=2)
+        planned = planner.plan(
+            parse_query(
+                "PROCESS documents USING ingest, language_filter, toxicity_filter, enrich"
+            )
+        )
+        # The plan is optimal for the lowered problem.
+        assert planned.result.cost == pytest.approx(exhaustive_search(planned.problem).cost)
+        # ingest produces the attribute every other service consumes, so it runs first.
+        assert planned.result.order[0] == planned.problem.service_index("ingest")
+        # The choreography can be executed by the simulator and meets the prediction.
+        report = simulate_plan(
+            planned.problem,
+            planned.result.order,
+            SimulationConfig(tuple_count=800, block_size=planned.choreography.block_size),
+        )
+        assert report.normalized_makespan <= planned.result.cost * 1.5 + 1e-6
+
+
+class TestNetworkDrivenProblems:
+    def test_topology_placement_problem_roundtrip(self):
+        topology = clustered_topology(3, 3, seed=5)
+        placement = random_placement(topology, 6, seed=5)
+        matrix = matrix_from_topology(topology, placement, tuple_size=2048.0, block_size=8)
+        problem = generate_problem(default_spec(6), seed=7).with_transfer(matrix)
+        result = branch_and_bound(problem)
+        assert result.optimal
+        assert result.cost == pytest.approx(exhaustive_search(problem).cost)

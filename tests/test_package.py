@@ -1,0 +1,66 @@
+"""Package-level smoke tests: public API surface and docstring coverage."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.network",
+    "repro.simulation",
+    "repro.workloads",
+    "repro.workflow",
+    "repro.estimation",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+class TestPublicSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_quickstart_from_docstring_works(self):
+        from repro import CommunicationCostMatrix, OrderingProblem, optimize
+
+        problem = OrderingProblem.from_parameters(
+            costs=[2.0, 1.0, 4.0],
+            selectivities=[0.5, 0.9, 0.3],
+            transfer=CommunicationCostMatrix([[0, 1, 5], [2, 0, 1], [4, 2, 0]]),
+        )
+        result = optimize(problem, algorithm="branch_and_bound")
+        assert result.optimal
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackages_import_and_export_all(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} has no module docstring"
+        assert hasattr(module, "__all__") or module_name == "repro.experiments"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing name {name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_callables_are_documented(self, module_name):
+        """Every public class and function reachable from __all__ has a docstring."""
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            member = getattr(module, name)
+            if inspect.isclass(member) or inspect.isfunction(member):
+                assert member.__doc__, f"{module_name}.{name} has no docstring"
+
+    def test_exceptions_form_a_single_hierarchy(self):
+        from repro import exceptions
+
+        subclasses = [
+            obj
+            for _, obj in inspect.getmembers(exceptions, inspect.isclass)
+            if issubclass(obj, Exception) and obj.__module__ == "repro.exceptions"
+        ]
+        assert len(subclasses) >= 10
+        for subclass in subclasses:
+            assert issubclass(subclass, exceptions.ReproError) or subclass is exceptions.ReproError

@@ -1,0 +1,112 @@
+"""Unit tests for JSON (de)serialization of problems, plans and results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import branch_and_bound
+from repro.exceptions import InvalidProblemError
+from repro.serialization import (
+    PROBLEM_FORMAT,
+    load_problem,
+    plan_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    result_to_dict,
+    save_problem,
+)
+from repro.workloads import credit_card_screening, federated_document_pipeline
+
+
+class TestProblemRoundTrip:
+    def test_round_trip_preserves_everything(self, four_service_problem):
+        document = problem_to_dict(four_service_problem)
+        assert document["format"] == PROBLEM_FORMAT
+        restored = problem_from_dict(document)
+        assert restored.costs == four_service_problem.costs
+        assert restored.selectivities == four_service_problem.selectivities
+        assert restored.transfer == four_service_problem.transfer
+        assert [s.name for s in restored.services] == [s.name for s in four_service_problem.services]
+
+    def test_round_trip_with_precedence_and_hosts(self):
+        problem = federated_document_pipeline()
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert restored.has_precedence_constraints
+        assert sorted(restored.precedence.edges()) == sorted(problem.precedence.edges())
+        assert [s.host for s in restored.services] == [s.host for s in problem.services]
+        # Optimization gives the same answer on both.
+        assert branch_and_bound(restored).cost == pytest.approx(branch_and_bound(problem).cost)
+
+    def test_round_trip_with_sink_transfer(self, three_service_problem):
+        problem = three_service_problem.with_sink_transfer([1.0, 2.0, 3.0])
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert restored.sink_transfer == (1.0, 2.0, 3.0)
+
+    def test_file_round_trip(self, tmp_path):
+        problem = credit_card_screening()
+        path = save_problem(problem, tmp_path / "problem.json")
+        restored = load_problem(path)
+        assert restored.name == problem.name
+        assert restored.transfer == problem.transfer
+        # The file is valid, human-readable JSON.
+        document = json.loads(path.read_text())
+        assert document["format"] == PROBLEM_FORMAT
+
+
+class TestMalformedDocuments:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict({"format": "something-else", "services": [], "transfer": []})
+
+    def test_wrong_version_rejected(self, four_service_problem):
+        document = problem_to_dict(four_service_problem)
+        document["version"] = 99
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict(document)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict({"format": PROBLEM_FORMAT, "version": 1, "services": [{"name": "a"}]})
+
+    def test_empty_services_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict({"services": [], "transfer": []})
+
+    def test_malformed_service_entry_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict({"services": [{"cost": 1.0}], "transfer": [[0.0]]})
+
+    def test_malformed_precedence_edge_rejected(self, three_service_problem):
+        document = problem_to_dict(three_service_problem)
+        document["precedence"] = [[0]]
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict(document)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            problem_from_dict(["not", "a", "dict"])  # type: ignore[arg-type]
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(InvalidProblemError):
+            load_problem(path)
+
+
+class TestPlanAndResultSerialization:
+    def test_plan_to_dict(self, four_service_problem):
+        plan = branch_and_bound(four_service_problem).plan
+        document = plan_to_dict(plan)
+        assert document["order"] == list(plan.order)
+        assert document["cost"] == pytest.approx(plan.cost)
+        assert len(document["stages"]) == 4
+        assert document["stages"][0]["input_rate"] == 1.0
+
+    def test_result_to_dict_is_json_serializable(self, four_service_problem):
+        result = branch_and_bound(four_service_problem)
+        document = result_to_dict(result)
+        encoded = json.dumps(document)
+        assert "branch_and_bound" in encoded
+        assert document["plan"]["cost"] == pytest.approx(result.cost)

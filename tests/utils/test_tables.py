@@ -1,0 +1,71 @@
+"""Unit tests for the table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import Table, format_markdown_table
+
+
+class TestFormatMarkdownTable:
+    def test_renders_headers_and_rows(self):
+        text = format_markdown_table(["a", "b"], [[1, 2.5], ["x", True]])
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert lines[1].startswith("|-")
+        assert "2.5" in lines[2]
+        assert "yes" in lines[3]
+
+    def test_column_width_accounts_for_long_cells(self):
+        text = format_markdown_table(["h"], [["a-much-longer-cell"]])
+        header, separator, row = text.splitlines()
+        assert len(header) == len(row)
+        assert len(separator) == len(header)
+
+    def test_row_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [[1]])
+
+    def test_float_format(self):
+        text = format_markdown_table(["x"], [[0.123456789]], float_format=".2f")
+        assert "0.12" in text
+
+
+class TestTable:
+    def test_add_row_positional_and_named(self):
+        table = Table(["n", "cost"])
+        table.add_row(3, 1.5)
+        table.add_row(n=4, cost=2.5)
+        assert len(table) == 2
+        assert table.column("n") == [3, 4]
+
+    def test_named_rows_require_all_columns(self):
+        table = Table(["n", "cost"])
+        with pytest.raises(ValueError):
+            table.add_row(n=3)
+        with pytest.raises(ValueError):
+            table.add_row(n=3, cost=1.0, extra=2)
+
+    def test_mixing_positional_and_named_rejected(self):
+        table = Table(["n"])
+        with pytest.raises(ValueError):
+            table.add_row(1, n=1)
+
+    def test_wrong_positional_arity_rejected(self):
+        table = Table(["n", "cost"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_to_markdown_includes_title(self):
+        table = Table(["n"], title="demo")
+        table.add_row(1)
+        assert table.to_markdown().startswith("### demo")
+
+    def test_to_dicts(self):
+        table = Table(["n", "cost"])
+        table.add_row(5, 0.5)
+        assert table.to_dicts() == [{"n": 5, "cost": 0.5}]
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(ValueError):
+            Table(["a"]).column("b")

@@ -1,0 +1,74 @@
+"""Unit tests for the stopwatch and duration formatting."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils import Stopwatch, format_duration
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        elapsed = watch.stop()
+        assert elapsed >= 0.009
+
+    def test_stop_without_start_returns_zero(self):
+        assert Stopwatch().stop() == 0.0
+
+    def test_accumulates_across_intervals(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.005)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.005)
+        total = watch.stop()
+        assert total > first
+
+    def test_elapsed_while_running(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        assert watch.elapsed > 0.0
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_reset(self):
+        watch = Stopwatch().start()
+        time.sleep(0.002)
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.002)
+        assert watch.elapsed >= 0.001
+
+    def test_double_start_is_idempotent(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.start()
+        assert watch.running
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(0.0000005).endswith("us")
+
+    def test_milliseconds(self):
+        assert format_duration(0.0042) == "4.20 ms"
+
+    def test_seconds(self):
+        assert format_duration(3.5) == "3.50 s"
+
+    def test_minutes(self):
+        assert format_duration(125) == "2 min 5.0 s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import (
+    require,
+    require_finite,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_custom_exception(self):
+        with pytest.raises(KeyError):
+            require(False, "broken", KeyError)
+
+
+class TestNumericValidators:
+    def test_require_finite_converts_to_float(self):
+        assert require_finite(3, "x") == 3.0
+        assert isinstance(require_finite(3, "x"), float)
+
+    def test_require_finite_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            require_finite(float("nan"), "x")
+        with pytest.raises(ValueError):
+            require_finite(float("inf"), "x")
+
+    def test_require_finite_rejects_non_numbers(self):
+        with pytest.raises(ValueError):
+            require_finite("abc", "x")
+        with pytest.raises(ValueError):
+            require_finite(None, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError, match="x"):
+            require_non_negative(-0.1, "x")
+
+    def test_require_positive(self):
+        assert require_positive(0.1, "x") == 0.1
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_require_probability(self):
+        assert require_probability(0.0, "p") == 0.0
+        assert require_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            require_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            require_probability(-0.01, "p")
+
+    def test_custom_exception_type_propagates(self):
+        class Custom(Exception):
+            pass
+
+        with pytest.raises(Custom):
+            require_positive(-1.0, "x", Custom)

@@ -1,0 +1,62 @@
+"""Unit tests for choreography generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import branch_and_bound
+from repro.workflow import CLIENT, build_choreography
+
+
+class TestBuildChoreography:
+    def test_instructions_follow_the_plan(self, four_service_problem):
+        plan = branch_and_bound(four_service_problem).plan
+        choreography = build_choreography(plan, block_size=8)
+        assert len(choreography.instructions) == 4
+        assert choreography.block_size == 8
+        # First stage receives from the client, last forwards to the client.
+        assert choreography.instructions[0].receive_from == CLIENT
+        assert choreography.instructions[-1].forward_to == CLIENT
+        # Chain consistency: stage i forwards to the service of stage i+1.
+        names = [four_service_problem.service(index).name for index in plan.order]
+        for position, instruction in enumerate(choreography.instructions):
+            assert instruction.service == names[position]
+            if position + 1 < len(names):
+                assert instruction.forward_to == names[position + 1]
+                assert choreography.instructions[position + 1].receive_from == names[position]
+
+    def test_transfer_costs_match_problem(self, four_service_problem):
+        plan = four_service_problem.plan([3, 0, 1, 2])
+        choreography = build_choreography(plan)
+        for position in range(3):
+            expected = four_service_problem.transfer_cost(plan.order[position], plan.order[position + 1])
+            assert choreography.instructions[position].transfer_cost == expected
+        assert choreography.instructions[-1].transfer_cost == 0.0
+
+    def test_sink_transfer_on_last_hop(self, three_service_problem):
+        problem = three_service_problem.with_sink_transfer([1.0, 2.0, 3.0])
+        plan = problem.plan([0, 1, 2])
+        choreography = build_choreography(plan)
+        assert choreography.instructions[-1].transfer_cost == 3.0
+
+    def test_expected_bottleneck_cost(self, four_service_problem):
+        plan = branch_and_bound(four_service_problem).plan
+        choreography = build_choreography(plan)
+        assert choreography.expected_bottleneck_cost == pytest.approx(plan.cost)
+
+    def test_instruction_lookup(self, four_service_problem):
+        plan = four_service_problem.plan([0, 1, 2, 3])
+        choreography = build_choreography(plan)
+        assert choreography.instruction_for("WS2").position == 2
+        with pytest.raises(KeyError):
+            choreography.instruction_for("nope")
+
+    def test_invalid_block_size(self, four_service_problem):
+        plan = four_service_problem.plan([0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            build_choreography(plan, block_size=0)
+
+    def test_describe_is_a_routing_table(self, four_service_problem):
+        plan = four_service_problem.plan([0, 1, 2, 3])
+        text = build_choreography(plan).describe()
+        assert "WS0" in text and "recv<-" in text and "send->" in text

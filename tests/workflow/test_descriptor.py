@@ -1,0 +1,61 @@
+"""Unit tests for service descriptors and the catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.workflow import ServiceCatalog, ServiceDescriptor
+
+
+def _descriptor(name="svc", **overrides):
+    defaults = dict(name=name, host="h1", cost=1.0, selectivity=0.5)
+    defaults.update(overrides)
+    return ServiceDescriptor(**defaults)
+
+
+class TestServiceDescriptor:
+    def test_valid_descriptor(self):
+        descriptor = _descriptor(consumes={"a"}, produces={"b"})
+        assert descriptor.consumes == frozenset({"a"})
+        assert descriptor.produces == frozenset({"b"})
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            _descriptor(name="")
+        with pytest.raises(QueryError):
+            _descriptor(host="")
+        with pytest.raises(QueryError):
+            _descriptor(cost=-1.0)
+        with pytest.raises(QueryError):
+            _descriptor(selectivity=0.0)
+
+    def test_to_service(self):
+        service = _descriptor(name="x", host="node", cost=2.0, selectivity=0.3).to_service()
+        assert service.name == "x"
+        assert service.host == "node"
+        assert service.cost == 2.0
+        assert service.selectivity == 0.3
+
+
+class TestServiceCatalog:
+    def test_register_and_get(self):
+        catalog = ServiceCatalog([_descriptor("a"), _descriptor("b")])
+        assert len(catalog) == 2
+        assert catalog.get("a").name == "a"
+        assert "b" in catalog
+        assert catalog.names() == ["a", "b"]
+
+    def test_duplicate_rejected(self):
+        catalog = ServiceCatalog([_descriptor("a")])
+        with pytest.raises(QueryError):
+            catalog.register(_descriptor("a"))
+
+    def test_unknown_lookup_lists_known_names(self):
+        catalog = ServiceCatalog([_descriptor("a")])
+        with pytest.raises(QueryError, match="a"):
+            catalog.get("missing")
+
+    def test_iteration(self):
+        catalog = ServiceCatalog([_descriptor("a"), _descriptor("b")])
+        assert [d.name for d in catalog] == ["a", "b"]

@@ -1,0 +1,68 @@
+"""Unit tests for the textual query parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.workflow import parse_query
+
+
+class TestParseQuery:
+    def test_minimal_query(self):
+        query = parse_query("PROCESS persons USING lookup, history")
+        assert query.source == "persons"
+        assert query.services == ("lookup", "history")
+        assert query.explicit_precedence == ()
+        assert query.input_attributes == frozenset()
+
+    def test_full_query(self):
+        query = parse_query(
+            "PROCESS docs USING decrypt, classify, route "
+            "WITH decrypt BEFORE classify, classify BEFORE route "
+            "GIVEN doc_id, region"
+        )
+        assert query.source == "docs"
+        assert query.services == ("decrypt", "classify", "route")
+        assert query.explicit_precedence == (("decrypt", "classify"), ("classify", "route"))
+        assert query.input_attributes == frozenset({"doc_id", "region"})
+
+    def test_keywords_are_case_insensitive(self):
+        query = parse_query("process docs using a, b with a before b")
+        assert query.services == ("a", "b")
+        assert query.explicit_precedence == (("a", "b"),)
+
+    def test_multiline_input(self):
+        query = parse_query(
+            """
+            PROCESS sensor_readings
+            USING range_check, dedup, outlier_filter
+            GIVEN reading_id
+            """
+        )
+        assert query.source == "sensor_readings"
+        assert len(query.services) == 3
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_missing_using_clause_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("PROCESS persons")
+
+    def test_malformed_precedence_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("PROCESS p USING a, b WITH a AFTER b")
+
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("PROCESS p USING a, 9bad")
+
+    def test_empty_service_list_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("PROCESS p USING ,")
+
+    def test_duplicate_services_rejected_by_query_model(self):
+        with pytest.raises(QueryError):
+            parse_query("PROCESS p USING a, a")

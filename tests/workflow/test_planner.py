@@ -1,0 +1,105 @@
+"""Integration tests for the query planner (query -> problem -> plan -> choreography)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import exhaustive_search
+from repro.exceptions import QueryError
+from repro.network import clustered_topology, uniform_topology
+from repro.workflow import QueryPlanner, ServiceCatalog, ServiceDescriptor, parse_query
+
+
+def _catalog(hosts: list[str]) -> ServiceCatalog:
+    return ServiceCatalog(
+        [
+            ServiceDescriptor("decrypt", host=hosts[0], cost=2.0, selectivity=1.0, produces={"plain"}),
+            ServiceDescriptor("language", host=hosts[1], cost=1.0, selectivity=0.5),
+            ServiceDescriptor(
+                "classify", host=hosts[2], cost=5.0, selectivity=0.4, consumes={"plain"}
+            ),
+            ServiceDescriptor("summarize", host=hosts[3], cost=8.0, selectivity=1.0),
+        ]
+    )
+
+
+@pytest.fixture
+def planner() -> QueryPlanner:
+    topology = clustered_topology(2, 2, seed=3)
+    hosts = topology.host_names()
+    return QueryPlanner(_catalog(hosts), topology, tuple_size=2048.0, block_size=4)
+
+
+class TestBuildProblem:
+    def test_problem_has_one_service_per_reference(self, planner):
+        query = parse_query("PROCESS docs USING decrypt, language, classify")
+        problem = planner.build_problem(query)
+        assert problem.size == 3
+        assert [s.name for s in problem.services] == ["decrypt", "language", "classify"]
+
+    def test_dataflow_constraint_becomes_precedence(self, planner):
+        query = parse_query("PROCESS docs USING decrypt, classify")
+        problem = planner.build_problem(query)
+        assert problem.has_precedence_constraints
+        decrypt = problem.service_index("decrypt")
+        classify = problem.service_index("classify")
+        assert decrypt in problem.precedence.predecessors(classify)
+
+    def test_transfer_costs_come_from_topology(self, planner):
+        query = parse_query("PROCESS docs USING decrypt, language, classify, summarize")
+        problem = planner.build_problem(query)
+        # Services on the same cluster communicate more cheaply than across clusters.
+        assert problem.transfer.min_cost() < problem.transfer.max_cost()
+
+    def test_unknown_service_raises(self, planner):
+        query = parse_query("PROCESS docs USING decrypt, nonexistent")
+        with pytest.raises(QueryError):
+            planner.build_problem(query)
+
+
+class TestPlan:
+    def test_planned_query_is_optimal_and_consistent(self, planner):
+        query = parse_query("PROCESS docs USING decrypt, language, classify, summarize")
+        planned = planner.plan(query)
+        assert planned.result.optimal
+        assert planned.result.cost == pytest.approx(exhaustive_search(planned.problem).cost)
+        assert planned.expected_response_time_per_tuple == pytest.approx(planned.result.cost)
+        # Choreography follows the optimized order and the planner's block size.
+        assert len(planned.choreography.instructions) == 4
+        assert planned.choreography.block_size == 4
+
+    def test_precedence_respected_in_final_plan(self, planner):
+        query = parse_query("PROCESS docs USING decrypt, classify, summarize")
+        planned = planner.plan(query)
+        order = planned.result.order
+        problem = planned.problem
+        assert order.index(problem.service_index("decrypt")) < order.index(
+            problem.service_index("classify")
+        )
+
+    def test_explicit_constraint_from_query_text(self, planner):
+        query = parse_query("PROCESS docs USING language, summarize WITH summarize BEFORE language")
+        planned = planner.plan(query)
+        order = planned.result.order
+        problem = planned.problem
+        assert order.index(problem.service_index("summarize")) < order.index(
+            problem.service_index("language")
+        )
+
+    def test_alternative_algorithm(self):
+        topology = uniform_topology(4)
+        planner = QueryPlanner(_catalog(topology.host_names()), topology, algorithm="greedy_cheapest_cost")
+        planned = planner.plan(parse_query("PROCESS docs USING decrypt, language, summarize"))
+        assert planned.result.algorithm == "greedy_cheapest_cost"
+        assert not planned.result.optimal
+
+    def test_describe_contains_routing_table(self, planner):
+        planned = planner.plan(parse_query("PROCESS docs USING decrypt, language"))
+        text = planned.describe()
+        assert "Query over" in text
+        assert "recv<-" in text
+
+    def test_invalid_block_size(self):
+        topology = uniform_topology(4)
+        with pytest.raises(ValueError):
+            QueryPlanner(_catalog(topology.host_names()), topology, block_size=0)

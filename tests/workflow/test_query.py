@@ -1,0 +1,85 @@
+"""Unit tests for the declarative query model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.workflow import ServiceCatalog, ServiceDescriptor, ServiceQuery
+
+
+def _catalog() -> ServiceCatalog:
+    return ServiceCatalog(
+        [
+            ServiceDescriptor(
+                "decrypt", host="h1", cost=1.0, selectivity=1.0, produces={"plaintext"}
+            ),
+            ServiceDescriptor(
+                "classify",
+                host="h2",
+                cost=2.0,
+                selectivity=0.5,
+                consumes={"plaintext"},
+                produces={"label"},
+            ),
+            ServiceDescriptor(
+                "route", host="h3", cost=0.5, selectivity=0.9, consumes={"label"}
+            ),
+            ServiceDescriptor("audit", host="h4", cost=0.2, selectivity=1.0),
+        ]
+    )
+
+
+class TestServiceQuery:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            ServiceQuery(source="", services=("a",))
+        with pytest.raises(QueryError):
+            ServiceQuery(source="s", services=())
+        with pytest.raises(QueryError):
+            ServiceQuery(source="s", services=("a", "a"))
+        with pytest.raises(QueryError):
+            ServiceQuery(source="s", services=("a",), explicit_precedence=(("a", "b"),))
+
+    def test_explicit_precedence_only(self):
+        query = ServiceQuery(
+            source="docs",
+            services=("decrypt", "audit"),
+            explicit_precedence=(("decrypt", "audit"),),
+        )
+        assert query.resolve_precedence(_catalog()) == [("decrypt", "audit")]
+
+    def test_dataflow_precedence_derived_from_attributes(self):
+        query = ServiceQuery(source="docs", services=("decrypt", "classify", "route"))
+        constraints = query.resolve_precedence(_catalog())
+        assert ("decrypt", "classify") in constraints
+        assert ("classify", "route") in constraints
+
+    def test_input_attributes_remove_constraints(self):
+        query = ServiceQuery(
+            source="docs",
+            services=("classify", "route"),
+            input_attributes={"plaintext"},
+        )
+        constraints = query.resolve_precedence(_catalog())
+        assert ("classify", "route") in constraints
+        assert all(before != "decrypt" for before, _ in constraints)
+
+    def test_missing_attribute_provider_raises(self):
+        query = ServiceQuery(source="docs", services=("classify",))
+        with pytest.raises(QueryError, match="plaintext"):
+            query.resolve_precedence(_catalog())
+
+    def test_explicit_and_dataflow_constraints_are_merged(self):
+        query = ServiceQuery(
+            source="docs",
+            services=("decrypt", "classify", "audit"),
+            explicit_precedence=(("audit", "decrypt"),),
+        )
+        constraints = query.resolve_precedence(_catalog())
+        assert ("audit", "decrypt") in constraints
+        assert ("decrypt", "classify") in constraints
+
+    def test_describe(self):
+        query = ServiceQuery(source="docs", services=("decrypt", "audit"))
+        assert "docs" in query.describe()

@@ -1,0 +1,94 @@
+"""Unit tests for the workload parameter distributions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import Constant, Discrete, Exponential, LogUniform, Mixture, Normal, Uniform
+
+
+def _samples(distribution, count=2000, seed=1):
+    rng = random.Random(seed)
+    return [distribution.sample(rng) for _ in range(count)]
+
+
+class TestDistributions:
+    def test_constant(self):
+        assert set(_samples(Constant(3.5), count=10)) == {3.5}
+
+    def test_uniform_range_and_mean(self):
+        samples = _samples(Uniform(2.0, 4.0))
+        assert all(2.0 <= value <= 4.0 for value in samples)
+        assert sum(samples) / len(samples) == pytest.approx(3.0, abs=0.1)
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(WorkloadError):
+            Uniform(2.0, 1.0)
+
+    def test_loguniform_range(self):
+        samples = _samples(LogUniform(0.01, 10.0))
+        assert all(0.01 <= value <= 10.0 for value in samples)
+        # Log-uniform puts half its mass below the geometric midpoint.
+        below = sum(1 for value in samples if value < (0.01 * 10.0) ** 0.5)
+        assert below == pytest.approx(len(samples) / 2, rel=0.15)
+
+    def test_loguniform_invalid(self):
+        with pytest.raises(WorkloadError):
+            LogUniform(0.0, 1.0)
+        with pytest.raises(WorkloadError):
+            LogUniform(2.0, 1.0)
+
+    def test_exponential_mean(self):
+        samples = _samples(Exponential(2.0))
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+        assert min(samples) >= 0.0
+
+    def test_exponential_offset(self):
+        samples = _samples(Exponential(1.0, offset=5.0), count=200)
+        assert min(samples) >= 5.0
+
+    def test_exponential_invalid(self):
+        with pytest.raises(WorkloadError):
+            Exponential(0.0)
+
+    def test_normal_truncation(self):
+        samples = _samples(Normal(mean=1.0, stddev=2.0, minimum=0.0))
+        assert min(samples) >= 0.0
+
+    def test_normal_invalid(self):
+        with pytest.raises(WorkloadError):
+            Normal(mean=0.0, stddev=-1.0)
+
+    def test_normal_degenerate_clamps_to_minimum(self):
+        samples = _samples(Normal(mean=-100.0, stddev=0.001, minimum=0.5), count=10)
+        assert set(samples) == {0.5}
+
+    def test_mixture_weights(self):
+        mixture = Mixture(Constant(0.0), Constant(1.0), first_weight=0.25)
+        samples = _samples(mixture)
+        assert sum(samples) / len(samples) == pytest.approx(0.75, abs=0.05)
+
+    def test_mixture_invalid_weight(self):
+        with pytest.raises(WorkloadError):
+            Mixture(Constant(0.0), Constant(1.0), first_weight=1.5)
+
+    def test_discrete_choices(self):
+        distribution = Discrete(((1.0, 1.0), (2.0, 3.0)))
+        samples = _samples(distribution)
+        assert set(samples) == {1.0, 2.0}
+        share_of_twos = sum(1 for value in samples if value == 2.0) / len(samples)
+        assert share_of_twos == pytest.approx(0.75, abs=0.05)
+
+    def test_discrete_invalid(self):
+        with pytest.raises(WorkloadError):
+            Discrete(())
+        with pytest.raises(WorkloadError):
+            Discrete(((1.0, -1.0),))
+        with pytest.raises(WorkloadError):
+            Discrete(((1.0, 0.0),))
+
+    def test_sampling_is_reproducible_per_seed(self):
+        assert _samples(Uniform(0, 1), count=10, seed=3) == _samples(Uniform(0, 1), count=10, seed=3)

@@ -1,0 +1,107 @@
+"""Unit tests for the random problem generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import Constant, Uniform, WorkloadSpec, generate_problem, generate_suite
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(service_count=0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(precedence_density=1.5)
+
+    def test_with_service_count(self):
+        spec = WorkloadSpec(service_count=4)
+        assert spec.with_service_count(9).service_count == 9
+        assert spec.service_count == 4
+
+
+class TestGenerateProblem:
+    def test_reproducible_for_same_seed(self):
+        spec = WorkloadSpec(service_count=6)
+        a = generate_problem(spec, seed=5)
+        b = generate_problem(spec, seed=5)
+        assert a.costs == b.costs
+        assert a.selectivities == b.selectivities
+        assert a.transfer == b.transfer
+
+    def test_different_seeds_differ(self):
+        spec = WorkloadSpec(service_count=6)
+        assert generate_problem(spec, seed=1).costs != generate_problem(spec, seed=2).costs
+
+    def test_respects_distribution_bounds(self):
+        spec = WorkloadSpec(
+            service_count=10,
+            cost=Uniform(1.0, 2.0),
+            selectivity=Uniform(0.2, 0.4),
+            transfer=Uniform(0.5, 0.6),
+        )
+        problem = generate_problem(spec, seed=3)
+        assert all(1.0 <= cost <= 2.0 for cost in problem.costs)
+        assert all(0.2 <= sigma <= 0.4 for sigma in problem.selectivities)
+        assert problem.transfer.min_cost() >= 0.5
+        assert problem.transfer.max_cost() <= 0.6
+
+    def test_symmetric_transfer_flag(self):
+        symmetric = generate_problem(WorkloadSpec(service_count=6, symmetric_transfer=True), seed=1)
+        assert symmetric.transfer.is_symmetric()
+        asymmetric = generate_problem(
+            WorkloadSpec(service_count=6, symmetric_transfer=False), seed=1
+        )
+        assert not asymmetric.transfer.is_symmetric()
+
+    def test_constant_distributions(self):
+        spec = WorkloadSpec(
+            service_count=4,
+            cost=Constant(1.0),
+            selectivity=Constant(0.5),
+            transfer=Constant(2.0),
+        )
+        problem = generate_problem(spec, seed=0)
+        assert set(problem.costs) == {1.0}
+        assert problem.transfer.is_uniform()
+
+    def test_precedence_density_zero_means_unconstrained(self):
+        problem = generate_problem(WorkloadSpec(service_count=6, precedence_density=0.0), seed=1)
+        assert not problem.has_precedence_constraints
+
+    def test_precedence_density_one_forces_a_chain(self):
+        problem = generate_problem(WorkloadSpec(service_count=5, precedence_density=1.0), seed=1)
+        assert problem.has_precedence_constraints
+        # With density 1 the only feasible order is 0, 1, 2, 3, 4.
+        problem.validate_plan([0, 1, 2, 3, 4])
+        with pytest.raises(Exception):
+            problem.validate_plan([1, 0, 2, 3, 4])
+
+    def test_sink_transfer_distribution(self):
+        spec = WorkloadSpec(service_count=4, sink_transfer=Constant(3.0))
+        problem = generate_problem(spec, seed=2)
+        assert problem.sink_transfer == (3.0, 3.0, 3.0, 3.0)
+
+    def test_services_are_named_and_hosted(self):
+        problem = generate_problem(WorkloadSpec(service_count=3), seed=0)
+        assert [s.name for s in problem.services] == ["WS0", "WS1", "WS2"]
+        assert all(s.host is not None for s in problem.services)
+
+
+class TestGenerateSuite:
+    def test_suite_size_and_independence(self):
+        suite = generate_suite(WorkloadSpec(service_count=5), count=4, seed=9)
+        assert len(suite) == 4
+        costs = {problem.costs for problem in suite}
+        assert len(costs) == 4
+
+    def test_suite_reproducibility(self):
+        spec = WorkloadSpec(service_count=5)
+        first = generate_suite(spec, count=3, seed=1)
+        second = generate_suite(spec, count=3, seed=1)
+        assert [p.costs for p in first] == [p.costs for p in second]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_suite(WorkloadSpec(service_count=3), count=-1)

@@ -1,0 +1,83 @@
+"""Unit tests for the named scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import branch_and_bound, exhaustive_search
+from repro.workloads import (
+    all_scenarios,
+    credit_card_screening,
+    federated_document_pipeline,
+    sensor_quality_pipeline,
+)
+
+
+class TestCreditCardScreening:
+    def test_structure(self):
+        problem = credit_card_screening()
+        assert problem.size == 4
+        names = [s.name for s in problem.services]
+        assert "card_lookup" in names and "payment_history" in names
+        lookup = problem.service(problem.service_index("card_lookup"))
+        assert lookup.is_proliferative  # person -> many card numbers
+        assert not problem.all_selective
+
+    def test_transfer_costs_reflect_data_centres(self):
+        problem = credit_card_screening()
+        lookup = problem.service_index("card_lookup")
+        history = problem.service_index("payment_history")
+        fraud = problem.service_index("fraud_score")
+        assert problem.transfer_cost(lookup, history) < problem.transfer_cost(lookup, fraud)
+
+    def test_optimal_plan_is_found(self):
+        problem = credit_card_screening()
+        assert branch_and_bound(problem).cost == pytest.approx(exhaustive_search(problem).cost)
+
+
+class TestSensorPipeline:
+    def test_all_services_selective_or_neutral(self):
+        problem = sensor_quality_pipeline()
+        assert problem.all_selective
+        assert problem.size == 6
+
+    def test_edge_links_cheaper_than_edge_cloud(self):
+        problem = sensor_quality_pipeline()
+        range_check = problem.service_index("range_check")
+        dedup = problem.service_index("dedup")
+        calibration = problem.service_index("calibration")
+        assert problem.transfer_cost(range_check, dedup) < problem.transfer_cost(
+            range_check, calibration
+        )
+
+
+class TestDocumentPipeline:
+    def test_precedence_constraints_present(self):
+        problem = federated_document_pipeline()
+        assert problem.has_precedence_constraints
+        decrypt = problem.service_index("decrypt")
+        scrubber = problem.service_index("pii_scrubber")
+        assert decrypt in problem.precedence.predecessors(scrubber)
+
+    def test_transfer_matrix_is_asymmetric(self):
+        problem = federated_document_pipeline()
+        assert not problem.transfer.is_symmetric()
+
+    def test_optimal_plan_respects_constraints(self):
+        problem = federated_document_pipeline()
+        order = branch_and_bound(problem).order
+        decrypt = problem.service_index("decrypt")
+        assert order.index(decrypt) < order.index(problem.service_index("content_classifier"))
+
+
+class TestAllScenarios:
+    def test_registry_contains_three_named_problems(self):
+        scenarios = all_scenarios()
+        assert len(scenarios) == 3
+        assert set(scenarios) == {
+            "credit-card-screening",
+            "sensor-quality-pipeline",
+            "federated-document-pipeline",
+        }
+        for name, problem in scenarios.items():
+            assert problem.name == name
