@@ -11,7 +11,10 @@ writing Python:
 * ``repro scenarios``  — list or optimize the named scenarios shipped with the
   library,
 * ``repro experiment`` — run one of the reconstructed experiments E1–E8 and
-  print its table.
+  print its table,
+* ``repro plan``       — answer plan requests through the serving subsystem
+  (portfolio race under a latency budget, optionally cached),
+* ``repro serve``      — run the long-running JSON/HTTP plan service.
 
 Every subcommand supports ``--json`` for machine-readable output where that is
 meaningful.  The module is import-safe: ``main`` takes an ``argv`` list and
@@ -75,6 +78,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = subparsers.add_parser("experiment", help="run one reconstructed experiment (E1..E8)")
     experiment.add_argument("experiment_id", help="experiment id, e.g. E2")
+
+    plan = subparsers.add_parser(
+        "plan", help="answer plan requests through the serving subsystem (cache + portfolio)"
+    )
+    plan.add_argument("problem", help="problem JSON file (see 'repro generate')")
+    plan.add_argument(
+        "--cached",
+        action="store_true",
+        help="route repeated submissions through the fingerprint plan cache",
+    )
+    plan.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="submit the problem this many times (with --cached, later ones hit the cache)",
+    )
+    plan.add_argument(
+        "--budget",
+        type=float,
+        default=1.0,
+        help="latency budget in seconds for the optimizer portfolio",
+    )
+    plan.add_argument("--json", action="store_true", help="print the responses as JSON")
+
+    serve_cmd = subparsers.add_parser("serve", help="run the long-running JSON/HTTP plan service")
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve_cmd.add_argument("--port", type=int, default=8080, help="TCP port to bind (0 = ephemeral)")
+    serve_cmd.add_argument(
+        "--budget", type=float, default=1.0, help="latency budget in seconds per cache miss"
+    )
+    serve_cmd.add_argument(
+        "--cache-capacity", type=int, default=1024, help="maximum number of cached plans"
+    )
+    serve_cmd.add_argument(
+        "--ttl", type=float, default=300.0, help="cached plan lifetime in seconds (0 = no expiry)"
+    )
 
     report = subparsers.add_parser(
         "report", help="run every experiment and render the full evaluation report"
@@ -149,6 +188,64 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_plan(args: argparse.Namespace) -> int:
+    from repro.serving import PlanService, PlanServiceConfig, response_to_dict
+
+    if args.repeat < 1:
+        raise ReproError(f"--repeat must be at least 1, got {args.repeat!r}")
+    problem = load_problem(args.problem)
+    config = PlanServiceConfig(
+        budget_seconds=args.budget,
+        cache_enabled=args.cached,
+        stale_while_revalidate=args.cached,
+    )
+    with PlanService(config) as service:
+        responses = [service.submit(problem) for _ in range(args.repeat)]
+        if args.json:
+            print(json.dumps([response_to_dict(response) for response in responses], indent=2))
+        else:
+            for index, response in enumerate(responses):
+                source = "cache" if response.cache_hit else "portfolio"
+                print(
+                    f"request {index}: cost={response.cost:.6g} via {source} "
+                    f"({response.algorithm}), latency={response.latency_seconds * 1e3:.2f} ms"
+                )
+            print()
+            print(f"plan: {' -> '.join(responses[-1].service_names)}")
+            cache_stats = service.stats()["cache"]
+            print(f"cache hit rate: {cache_stats['hit_rate']:.0%}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serving import PlanService, PlanServiceConfig, serve
+
+    config = PlanServiceConfig(
+        budget_seconds=args.budget,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.ttl if args.ttl > 0 else None,
+    )
+    with PlanService(config) as service:
+        try:
+            server = serve(service, host=args.host, port=args.port)
+        except OSError as error:
+            raise ReproError(
+                f"cannot bind {args.host}:{args.port}: {error.strerror or error}"
+            ) from error
+        host, port = server.server_address[:2]
+        print(f"plan service listening on http://{host}:{port} (POST /plan, GET /stats)")
+        try:
+            # serve_forever runs on this thread, so when it returns (or is
+            # interrupted) the accept loop is already down; only the socket
+            # needs closing.
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.server_close()
+    return 0
+
+
 def _command_scenarios(args: argparse.Namespace) -> int:
     scenarios = all_scenarios()
     if not args.name:
@@ -194,6 +291,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _command_simulate,
         "scenarios": _command_scenarios,
         "experiment": _command_experiment,
+        "plan": _command_plan,
+        "serve": _command_serve,
         "report": _command_report,
     }
     try:

@@ -23,6 +23,7 @@ from repro.core.cost_model import (
     bottleneck_stage,
     prefix_products,
     stage_costs,
+    validate_order,
 )
 from repro.core.dynamic_programming import DynamicProgrammingOptimizer, dynamic_programming
 from repro.core.exhaustive import ExhaustiveOptimizer, exhaustive_search
@@ -92,4 +93,5 @@ __all__ = [
     "simulated_annealing",
     "srivastava",
     "stage_costs",
+    "validate_order",
 ]

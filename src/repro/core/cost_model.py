@@ -31,6 +31,7 @@ __all__ = [
     "bottleneck_cost",
     "bottleneck_stage",
     "prefix_products",
+    "validate_order",
 ]
 
 

@@ -119,16 +119,22 @@ def compare(
     problem: OrderingProblem,
     algorithms: list[str] | None = None,
     **shared_options: object,
-) -> dict[str, OptimizationResult]:
+) -> dict[str, OptimizationResult | OptimizationError]:
     """Run several algorithms on the same problem and collect their results.
 
     ``shared_options`` are passed to every algorithm that accepts them;
-    algorithms rejecting an option are reported as errors rather than silently
-    skipped, so callers should only pass universally valid options (typically
-    none).
+    algorithms rejecting an option (or failing outright) are reported as
+    :class:`~repro.exceptions.OptimizationError` values in the mapping rather
+    than aborting the whole comparison, so one bad option never hides the
+    results of the algorithms that did run.
     """
     selected = algorithms if algorithms is not None else list(ALGORITHMS)
-    results: dict[str, OptimizationResult] = {}
+    results: dict[str, OptimizationResult | OptimizationError] = {}
     for name in selected:
-        results[name] = optimize(problem, algorithm=name, **shared_options)
+        try:
+            results[name] = optimize(problem, algorithm=name, **shared_options)
+        except OptimizationError as error:
+            results[name] = error
+        except TypeError as error:
+            results[name] = OptimizationError(f"{name} rejected the options: {error}")
     return results

@@ -56,6 +56,14 @@ class ParameterDrift:
         """The largest of the three component drifts."""
         return max(self.max_cost_drift, self.max_selectivity_drift, self.max_transfer_drift)
 
+    def exceeds(self, threshold: float) -> bool:
+        """Whether any component drift is beyond ``threshold``.
+
+        This is the trigger condition shared by the adaptive re-optimization
+        loop and the plan cache's drift-based revalidation.
+        """
+        return self.overall > threshold
+
 
 def compute_drift(current: OrderingProblem, observed: OrderingProblem) -> ParameterDrift:
     """Compare two problems describing the same services (matched by name)."""

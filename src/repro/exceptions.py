@@ -66,3 +66,11 @@ class EstimationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or harness invocation is invalid."""
+
+
+class ServingError(ReproError):
+    """The plan-serving subsystem was misconfigured or reached an invalid state."""
+
+
+class AdmissionError(ServingError):
+    """A request was rejected by the plan service's admission control (overload)."""

@@ -1,0 +1,70 @@
+"""Plan-serving subsystem: fingerprint cache + optimizer portfolio + service.
+
+The one-shot pipeline (build a problem, run an optimizer, print the plan)
+becomes a long-running service here:
+
+* :mod:`repro.serving.fingerprint` — canonical, permutation-invariant hashing
+  of :class:`~repro.core.problem.OrderingProblem` instances,
+* :mod:`repro.serving.cache` — thread-safe LRU + TTL plan cache with
+  stale-while-revalidate and drift-based refresh,
+* :mod:`repro.serving.portfolio` — deadline-budgeted races over the algorithm
+  registry (greedy anytime seed, refined by beam search / branch-and-bound),
+* :mod:`repro.serving.service` — the :class:`PlanService` façade with
+  admission control,
+* :mod:`repro.serving.metrics` — per-request latency and quality metrics,
+* :mod:`repro.serving.http` — a stdlib ``ThreadingHTTPServer`` JSON endpoint.
+
+Quickstart
+----------
+>>> from repro.serving import PlanService, PlanServiceConfig
+>>> from repro.workloads import credit_card_screening
+>>> service = PlanService(PlanServiceConfig(budget_seconds=0.5))
+>>> first = service.submit(credit_card_screening())
+>>> second = service.submit(credit_card_screening())
+>>> first.cache_hit, second.cache_hit
+(False, True)
+>>> second.cost <= first.cost + 1e-9
+True
+"""
+
+from repro.serving.cache import CachedPlan, CacheLookup, CacheStats, PlanCache
+from repro.serving.fingerprint import (
+    DEFAULT_PRECISION,
+    ProblemFingerprint,
+    fingerprint_problem,
+    quantize,
+)
+from repro.serving.http import PlanServer, response_to_dict, serve
+from repro.serving.metrics import LatencySummary, ServingMetrics
+from repro.serving.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PortfolioOptimizer,
+    PortfolioOptions,
+    PortfolioResult,
+    run_portfolio,
+)
+from repro.serving.service import PlanResponse, PlanService, PlanServiceConfig
+
+__all__ = [
+    "DEFAULT_PORTFOLIO",
+    "DEFAULT_PRECISION",
+    "CacheLookup",
+    "CacheStats",
+    "CachedPlan",
+    "LatencySummary",
+    "PlanCache",
+    "PlanResponse",
+    "PlanServer",
+    "PlanService",
+    "PlanServiceConfig",
+    "PortfolioOptimizer",
+    "PortfolioOptions",
+    "PortfolioResult",
+    "ProblemFingerprint",
+    "ServingMetrics",
+    "fingerprint_problem",
+    "quantize",
+    "response_to_dict",
+    "run_portfolio",
+    "serve",
+]

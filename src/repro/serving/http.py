@@ -1,0 +1,150 @@
+"""A stdlib-only JSON/HTTP front end for :class:`~repro.serving.service.PlanService`.
+
+The endpoint is deliberately small — :class:`http.server.ThreadingHTTPServer`
+plus a request handler — so the service can take real traffic without any
+third-party dependency:
+
+* ``POST /plan`` — body is an ordering-problem document in the
+  :mod:`repro.serialization` format (optionally wrapped as
+  ``{"problem": {...}, "budget_seconds": 0.2}``); answers with the plan,
+  its cost and the cache/latency metadata of :class:`PlanResponse`.
+* ``GET /stats`` — the service's :meth:`~repro.serving.service.PlanService.stats`
+  snapshot.
+* ``GET /healthz`` — liveness probe.
+
+Overload surfaces as HTTP 503 (admission control), malformed documents as
+HTTP 400; optimizer failures as HTTP 500.  Each connection is handled on its
+own thread (``ThreadingHTTPServer``), which is exactly the concurrency model
+:class:`PlanService.submit` is built for.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.exceptions import AdmissionError, InvalidProblemError, ReproError
+from repro.serialization import problem_from_dict
+from repro.serving.service import PlanResponse, PlanService
+
+__all__ = ["PlanServer", "response_to_dict", "serve"]
+
+
+def response_to_dict(response: PlanResponse) -> dict[str, Any]:
+    """Serialise a :class:`PlanResponse` for the wire (and the CLI's ``--json``)."""
+    return {
+        "order": list(response.order),
+        "services": list(response.service_names),
+        "cost": response.cost,
+        "algorithm": response.algorithm,
+        "optimal": response.optimal,
+        "cache_hit": response.cache_hit,
+        "stale": response.stale,
+        "fingerprint": response.fingerprint,
+        "latency_seconds": response.latency_seconds,
+    }
+
+
+class _PlanRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``POST /plan``, ``GET /stats`` and ``GET /healthz``."""
+
+    server: "PlanServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve the stats snapshot and the liveness probe."""
+        if self.path == "/stats":
+            self._send_json(200, self.server.plan_service.stats())
+        elif self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Accept one plan request."""
+        try:
+            # Read the body before routing: on a keep-alive connection an
+            # unread body would be parsed as the next request line.
+            document = self._read_json()
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        if self.path != "/plan":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            if "problem" in document:
+                problem_document = document["problem"]
+                budget = document.get("budget_seconds")
+            else:
+                problem_document = document
+                budget = None
+            problem = problem_from_dict(problem_document)
+        except (TypeError, ValueError, InvalidProblemError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            response = self.server.plan_service.submit(problem, budget_seconds=budget)
+        except AdmissionError as error:
+            self._send_json(503, {"error": str(error)})
+            return
+        except ReproError as error:
+            self._send_json(500, {"error": str(error)})
+            return
+        self._send_json(200, response_to_dict(response))
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body is empty")
+        body = self.rfile.read(length)
+        document = json.loads(body.decode("utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may leave request bytes unread (e.g. a body sent
+            # without Content-Length); closing keeps keep-alive in sync.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr access log (the service has metrics)."""
+
+
+class PlanServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`PlanService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], plan_service: PlanService) -> None:
+        super().__init__(address, _PlanRequestHandler)
+        self.plan_service = plan_service
+
+    def serve_in_background(self) -> threading.Thread:
+        """Start :meth:`serve_forever` on a daemon thread and return it."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True, name="plan-server")
+        thread.start()
+        return thread
+
+
+def serve(
+    plan_service: PlanService, host: str = "127.0.0.1", port: int = 8080
+) -> PlanServer:
+    """Bind a :class:`PlanServer` for ``plan_service`` (call ``serve_forever`` or
+    :meth:`PlanServer.serve_in_background` on the result)."""
+    return PlanServer((host, port), plan_service)

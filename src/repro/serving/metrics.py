@@ -1,0 +1,157 @@
+"""Per-request latency and plan-quality metrics of the plan service.
+
+The service records one observation per answered request: where the answer
+came from (fresh cache hit, stale hit, cold optimization), how long the
+request took end to end, and the quality of the returned plan (its bottleneck
+cost, and whether it carries an optimality guarantee).  Latencies are kept in
+a bounded reservoir so a long-running service's memory stays flat while the
+quantiles remain meaningful.
+
+Everything is guarded by one lock; observations are a few appends, so the
+lock is never held across optimization work.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ServingError
+
+__all__ = ["LatencySummary", "ServingMetrics"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one latency population (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def of(samples: list[float]) -> "LatencySummary":
+        """Summarise ``samples`` (empty populations yield all-zero summaries)."""
+        if not samples:
+            return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+        ordered = sorted(samples)
+
+        def quantile(fraction: float) -> float:
+            position = min(int(fraction * len(ordered)), len(ordered) - 1)
+            return ordered[position]
+
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=quantile(0.50),
+            p95=quantile(0.95),
+            p99=quantile(0.99),
+            max=ordered[-1],
+        )
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Flatten for JSON reports."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+class ServingMetrics:
+    """Thread-safe request counters and latency reservoirs for a plan service."""
+
+    SOURCES = ("hit", "stale", "cold")
+    """Where an answer can come from: fresh cache hit, stale hit, optimization."""
+
+    def __init__(self, reservoir_size: int = 4096) -> None:
+        if reservoir_size < 1:
+            raise ServingError(f"reservoir_size must be at least 1, got {reservoir_size!r}")
+        self._lock = threading.Lock()
+        self._reservoir_size = reservoir_size
+        self._latencies: dict[str, list[float]] = {source: [] for source in self.SOURCES}
+        self._observation_counts: dict[str, int] = {source: 0 for source in self.SOURCES}
+        self._rejected = 0
+        self._failed = 0
+        self._optimal_answers = 0
+        self._cost_total = 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def observe(self, source: str, latency_seconds: float, cost: float, optimal: bool) -> None:
+        """Record one answered request."""
+        if source not in self.SOURCES:
+            raise ServingError(f"unknown answer source {source!r}; expected one of {self.SOURCES}")
+        with self._lock:
+            self._observation_counts[source] += 1
+            reservoir = self._latencies[source]
+            if len(reservoir) >= self._reservoir_size:
+                # Overwrite round-robin so the reservoir tracks recent traffic.
+                reservoir[self._observation_counts[source] % self._reservoir_size] = (
+                    latency_seconds
+                )
+            else:
+                reservoir.append(latency_seconds)
+            self._cost_total += cost
+            if optimal:
+                self._optimal_answers += 1
+
+    def record_rejection(self) -> None:
+        """Record a request turned away by admission control."""
+        with self._lock:
+            self._rejected += 1
+
+    def record_failure(self) -> None:
+        """Record a request that raised during optimization."""
+        with self._lock:
+            self._failed += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def answered(self) -> int:
+        """Total requests answered (any source)."""
+        with self._lock:
+            return sum(self._observation_counts.values())
+
+    @property
+    def rejected(self) -> int:
+        """Total requests rejected by admission control."""
+        with self._lock:
+            return self._rejected
+
+    @property
+    def failed(self) -> int:
+        """Total requests that failed during optimization."""
+        with self._lock:
+            return self._failed
+
+    def latency(self, source: str) -> LatencySummary:
+        """Latency summary of one answer source ('hit', 'stale' or 'cold')."""
+        if source not in self.SOURCES:
+            raise ServingError(f"unknown answer source {source!r}; expected one of {self.SOURCES}")
+        with self._lock:
+            return LatencySummary.of(list(self._latencies[source]))
+
+    def snapshot(self) -> dict[str, object]:
+        """One JSON-ready dictionary with every counter and latency summary."""
+        with self._lock:
+            answered = sum(self._observation_counts.values())
+            return {
+                "answered": answered,
+                "rejected": self._rejected,
+                "failed": self._failed,
+                "by_source": dict(self._observation_counts),
+                "optimal_answers": self._optimal_answers,
+                "mean_plan_cost": self._cost_total / answered if answered else 0.0,
+                "latency": {
+                    source: LatencySummary.of(list(self._latencies[source])).as_dict()
+                    for source in self.SOURCES
+                },
+            }

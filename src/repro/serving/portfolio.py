@@ -1,0 +1,208 @@
+"""Deadline-budgeted portfolio optimization.
+
+A plan service answers under a latency budget, but the registry's algorithms
+span five orders of magnitude in runtime: the greedy heuristics return in
+microseconds, beam search in milliseconds, branch-and-bound (exact) possibly
+much longer on large instances.  The portfolio exploits that spread:
+
+1. the **anytime seed** — the first configured algorithm (greedy by default)
+   runs synchronously, so there is always an answer to return, then
+2. the remaining algorithms **race** on a :class:`~concurrent.futures.ThreadPoolExecutor`
+   until the budget expires, each completed result refining the incumbent.
+
+The portfolio reuses :data:`repro.core.optimizer.ALGORITHMS` — it never
+duplicates a runner — and returns the best
+:class:`~repro.core.result.OptimizationResult` observed when the deadline
+fires.  Because the seed always completes, the portfolio's answer is never
+worse than the seed algorithm's; algorithms that error out (e.g. an exact
+solver refusing an over-size instance) are recorded, not fatal.
+
+Python threads cannot be killed: an algorithm still running at the deadline
+keeps its worker busy until it finishes on its own.  Sizing the executor with
+a few spare workers (the default) keeps one straggler from stalling the next
+request's race.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.optimizer import ALGORITHMS, optimize
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult
+from repro.exceptions import OptimizationError, ReproError, ServingError
+from repro.utils.timing import Stopwatch
+
+__all__ = ["PortfolioOptions", "PortfolioResult", "PortfolioOptimizer", "run_portfolio"]
+
+DEFAULT_PORTFOLIO = ("greedy_min_term", "beam_search", "branch_and_bound")
+"""Default algorithm ladder: instant heuristic, polynomial refinement, exact."""
+
+
+@dataclass(frozen=True)
+class PortfolioOptions:
+    """Configuration of one portfolio race."""
+
+    algorithms: tuple[str, ...] = DEFAULT_PORTFOLIO
+    """Algorithm names from :data:`repro.core.optimizer.ALGORITHMS`; the first
+    one is the synchronous anytime seed."""
+
+    budget_seconds: float | None = 1.0
+    """Wall-clock budget for the racing algorithms (``None`` waits for all)."""
+
+    algorithm_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    """Per-algorithm keyword options, e.g. ``{"beam_search": {"beam_width": 8}}``."""
+
+    def __post_init__(self) -> None:
+        if not self.algorithms:
+            raise ServingError("a portfolio needs at least one algorithm")
+        unknown = [name for name in self.algorithms if name not in ALGORITHMS]
+        if unknown:
+            raise ServingError(
+                f"unknown portfolio algorithms {unknown!r}; available: {', '.join(ALGORITHMS)}"
+            )
+        if self.budget_seconds is not None and self.budget_seconds < 0:
+            raise ServingError(f"budget_seconds must be non-negative, got {self.budget_seconds!r}")
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """The outcome of racing a portfolio on one problem."""
+
+    best: OptimizationResult
+    """The cheapest plan any member produced within the budget."""
+
+    results: dict[str, OptimizationResult]
+    """Results of every member that completed in time, by algorithm name."""
+
+    errors: dict[str, str]
+    """Error messages of members that raised, by algorithm name."""
+
+    timed_out: tuple[str, ...]
+    """Members that had not finished when the budget expired."""
+
+    elapsed_seconds: float
+    """Wall-clock time the race took (≤ budget + seed time)."""
+
+    @property
+    def refinement(self) -> float:
+        """Relative improvement of :attr:`best` over the worst completed member."""
+        completed = list(self.results.values())
+        if not completed:
+            return 0.0
+        worst = max(r.cost for r in completed)
+        if worst <= 0:
+            return 0.0
+        return (worst - self.best.cost) / worst
+
+
+class PortfolioOptimizer:
+    """Runs deadline-budgeted portfolio races, reusing one thread pool.
+
+    The executor is shared across races, which is what the long-running
+    :class:`~repro.serving.service.PlanService` needs; one-shot callers can use
+    :func:`run_portfolio` instead.
+    """
+
+    def __init__(self, options: PortfolioOptions | None = None, max_workers: int | None = None):
+        self.options = options if options is not None else PortfolioOptions()
+        workers = max_workers if max_workers is not None else 2 * len(self.options.algorithms)
+        if workers < 1:
+            raise ServingError(f"max_workers must be at least 1, got {workers!r}")
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="portfolio"
+        )
+        self._closed = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the executor down without waiting for stragglers."""
+        self._closed.set()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "PortfolioOptimizer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- racing ------------------------------------------------------------
+
+    def optimize(
+        self, problem: OrderingProblem, budget_seconds: float | None = None
+    ) -> PortfolioResult:
+        """Race the configured portfolio on ``problem``.
+
+        ``budget_seconds`` overrides the options' budget for this race.  The
+        first algorithm runs synchronously regardless of the budget, so the
+        call always returns a valid result.
+        """
+        if self._closed.is_set():
+            raise ServingError("the portfolio optimizer has been closed")
+        options = self.options
+        budget = options.budget_seconds if budget_seconds is None else budget_seconds
+        if budget is not None and budget < 0:
+            raise ServingError(f"budget_seconds must be non-negative, got {budget!r}")
+
+        stopwatch = Stopwatch().start()
+        seed_name = options.algorithms[0]
+        results: dict[str, OptimizationResult] = {}
+        errors: dict[str, str] = {}
+        try:
+            results[seed_name] = self._run_member(problem, seed_name)
+        except ReproError as error:
+            errors[seed_name] = str(error)
+
+        racing = options.algorithms[1:]
+        futures = {
+            self._executor.submit(self._run_member, problem, name): name for name in racing
+        }
+        remaining = None if budget is None else max(budget - stopwatch.elapsed, 0.0)
+        done, pending = concurrent.futures.wait(futures, timeout=remaining)
+        for future in done:
+            name = futures[future]
+            try:
+                results[name] = future.result()
+            except ReproError as error:
+                errors[name] = str(error)
+        timed_out = []
+        for future in pending:
+            future.cancel()
+            timed_out.append(futures[future])
+
+        if not results:
+            raise OptimizationError(
+                f"no portfolio member produced a plan within the budget "
+                f"(errors: {errors!r}, timed out: {timed_out!r})"
+            )
+        best = min(results.values(), key=lambda result: (result.cost, not result.optimal))
+        return PortfolioResult(
+            best=best,
+            results=results,
+            errors=errors,
+            timed_out=tuple(sorted(timed_out)),
+            elapsed_seconds=stopwatch.stop(),
+        )
+
+    def _run_member(self, problem: OrderingProblem, name: str) -> OptimizationResult:
+        member_options = dict(self.options.algorithm_options.get(name, {}))
+        try:
+            return optimize(problem, algorithm=name, **member_options)
+        except TypeError as error:
+            # An optimizer rejecting its options must surface as a recorded
+            # member error, not crash the whole race (cf. core.optimizer.compare).
+            raise OptimizationError(f"{name} rejected the options: {error}") from error
+
+
+def run_portfolio(
+    problem: OrderingProblem,
+    options: PortfolioOptions | None = None,
+    budget_seconds: float | None = None,
+) -> PortfolioResult:
+    """One-shot convenience wrapper around :class:`PortfolioOptimizer`."""
+    with PortfolioOptimizer(options) as portfolio:
+        return portfolio.optimize(problem, budget_seconds=budget_seconds)

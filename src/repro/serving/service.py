@@ -1,0 +1,354 @@
+"""The :class:`PlanService` façade: cached, budgeted plan serving.
+
+This is the subsystem's front door.  A long-running process constructs one
+``PlanService`` and feeds it a stream of :class:`~repro.core.problem.OrderingProblem`
+instances; the service answers each with a :class:`PlanResponse`, combining
+
+* the **fingerprint cache** (:mod:`repro.serving.cache`) — structurally
+  identical problems are answered without optimizing again, with
+  stale-while-revalidate refresh when parameters drift,
+* the **optimizer portfolio** (:mod:`repro.serving.portfolio`) — cache misses
+  are optimized under the configured latency budget, and
+* **admission control** — at most ``max_in_flight`` requests optimize
+  concurrently, at most ``queue_depth`` more may wait; anything beyond is
+  rejected with :class:`~repro.exceptions.AdmissionError` so overload degrades
+  crisply instead of queueing unboundedly.
+
+Every answer is measured (:mod:`repro.serving.metrics`); :meth:`PlanService.stats`
+exposes the whole picture — cache counters, per-source latency quantiles,
+admission rejections — as one JSON-ready dictionary, which is also what the
+HTTP endpoint (:mod:`repro.serving.http`) serves.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.problem import OrderingProblem
+from repro.exceptions import AdmissionError, InvalidPlanError, ReproError, ServingError
+from repro.serving.cache import CacheLookup, PlanCache
+from repro.serving.fingerprint import (
+    DEFAULT_PRECISION,
+    ProblemFingerprint,
+    fingerprint_problem,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.portfolio import DEFAULT_PORTFOLIO, PortfolioOptimizer, PortfolioOptions
+from repro.utils.timing import Stopwatch
+
+__all__ = ["PlanServiceConfig", "PlanResponse", "PlanService"]
+
+
+@dataclass(frozen=True)
+class PlanServiceConfig:
+    """Tunables of a :class:`PlanService`."""
+
+    cache_enabled: bool = True
+    """Whether answers are cached and served from the cache at all (disabling
+    makes every submission optimize cold, e.g. for ``repro plan`` without
+    ``--cached``)."""
+
+    cache_capacity: int = 1024
+    """Maximum number of cached plans (LRU beyond that)."""
+
+    cache_ttl: float | None = 300.0
+    """Plan lifetime in seconds (``None`` disables expiry)."""
+
+    stale_while_revalidate: bool = True
+    """Serve expired plans immediately and refresh them in the background."""
+
+    fingerprint_precision: int = DEFAULT_PRECISION
+    """Decimal digits of the fingerprint quantization grid."""
+
+    drift_threshold: float | None = 0.05
+    """Parameter drift (vs the cached reference problem) beyond which a fresh
+    hit still triggers a background re-optimization; ``None`` disables the
+    check."""
+
+    budget_seconds: float | None = 1.0
+    """Latency budget handed to the portfolio on cache misses."""
+
+    algorithms: tuple[str, ...] = DEFAULT_PORTFOLIO
+    """Portfolio ladder; the first member is the synchronous anytime seed."""
+
+    algorithm_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    """Per-algorithm options forwarded to the portfolio."""
+
+    max_in_flight: int = 8
+    """Requests optimizing concurrently before new arrivals start queueing."""
+
+    queue_depth: int = 64
+    """Requests allowed to wait for a slot before admission control rejects."""
+
+    revalidation_workers: int = 2
+    """Threads refreshing stale/drifted cache entries in the background."""
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ServingError(f"max_in_flight must be at least 1, got {self.max_in_flight!r}")
+        if self.queue_depth < 0:
+            raise ServingError(f"queue_depth must be non-negative, got {self.queue_depth!r}")
+        if self.revalidation_workers < 1:
+            raise ServingError(
+                f"revalidation_workers must be at least 1, got {self.revalidation_workers!r}"
+            )
+        if self.drift_threshold is not None and self.drift_threshold < 0:
+            raise ServingError(
+                f"drift_threshold must be non-negative, got {self.drift_threshold!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """One answered plan request."""
+
+    order: tuple[int, ...]
+    """The plan, as service indices of the *submitted* problem."""
+
+    service_names: tuple[str, ...]
+    """The plan as service names, in execution order."""
+
+    cost: float
+    """Bottleneck cost of the plan under the submitted problem's parameters."""
+
+    algorithm: str
+    """Algorithm that originally produced the plan."""
+
+    optimal: bool
+    """Whether that algorithm guarantees global optimality (for the problem it
+    optimized; a drifted cache hit may no longer be exactly optimal here)."""
+
+    cache_hit: bool
+    """Whether the answer came from the plan cache."""
+
+    stale: bool
+    """Whether the served cache entry had outlived its TTL."""
+
+    fingerprint: str
+    """Cache key of the submitted problem."""
+
+    latency_seconds: float
+    """End-to-end service-side latency of this request."""
+
+
+class PlanService:
+    """A long-running, cache-accelerated, admission-controlled plan server."""
+
+    def __init__(self, config: PlanServiceConfig | None = None) -> None:
+        self.config = config if config is not None else PlanServiceConfig()
+        self.cache = PlanCache(
+            capacity=self.config.cache_capacity,
+            ttl=self.config.cache_ttl,
+            stale_while_revalidate=self.config.stale_while_revalidate,
+        )
+        self.metrics = ServingMetrics()
+        self._portfolio = PortfolioOptimizer(
+            PortfolioOptions(
+                algorithms=self.config.algorithms,
+                budget_seconds=self.config.budget_seconds,
+                algorithm_options=dict(self.config.algorithm_options),
+            ),
+            max_workers=max(2 * len(self.config.algorithms), self.config.max_in_flight),
+        )
+        self._slots = threading.Semaphore(self.config.max_in_flight)
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._revalidator = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.revalidation_workers, thread_name_prefix="revalidate"
+        )
+        self._revalidating: set[str] = set()
+        self._revalidating_lock = threading.Lock()
+        self._closed = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop background refresh work and release the portfolio's threads."""
+        self._closed.set()
+        self._revalidator.shutdown(wait=False, cancel_futures=True)
+        self._portfolio.close()
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- serving -----------------------------------------------------------
+
+    def submit(
+        self, problem: OrderingProblem, budget_seconds: float | None = None
+    ) -> PlanResponse:
+        """Answer one plan request (blocking; safe to call from many threads).
+
+        Raises :class:`~repro.exceptions.AdmissionError` when the service is
+        over capacity and :class:`~repro.exceptions.ServingError` after
+        :meth:`close`.
+        """
+        if self._closed.is_set():
+            raise ServingError("the plan service has been closed")
+        self._admit()
+        try:
+            self._slots.acquire()
+            try:
+                return self._answer(problem, budget_seconds)
+            finally:
+                self._slots.release()
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    def submit_batch(self, problems: Sequence[OrderingProblem]) -> list[PlanResponse]:
+        """Answer several requests, preserving order (each admitted separately)."""
+        return [self.submit(problem) for problem in problems]
+
+    def warm(self, problems: Iterable[OrderingProblem]) -> int:
+        """Pre-populate the cache (bypasses admission control); returns the count."""
+        warmed = 0
+        for problem in problems:
+            self._optimize_and_cache(problem, None)
+            warmed += 1
+        return warmed
+
+    def stats(self) -> dict[str, object]:
+        """A JSON-ready snapshot of cache, request and admission statistics."""
+        with self._pending_lock:
+            pending = self._pending
+        return {
+            "cache": {"size": len(self.cache), **self.cache.stats().as_dict()},
+            "requests": self.metrics.snapshot(),
+            "admission": {
+                "in_flight_limit": self.config.max_in_flight,
+                "queue_depth": self.config.queue_depth,
+                "pending": pending,
+            },
+            "portfolio": {
+                "algorithms": list(self.config.algorithms),
+                "budget_seconds": self.config.budget_seconds,
+            },
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _admit(self) -> None:
+        limit = self.config.max_in_flight + self.config.queue_depth
+        with self._pending_lock:
+            if self._pending >= limit:
+                self.metrics.record_rejection()
+                raise AdmissionError(
+                    f"plan service over capacity: {self._pending} requests pending "
+                    f"(limit {limit} = {self.config.max_in_flight} in flight "
+                    f"+ {self.config.queue_depth} queued)"
+                )
+            self._pending += 1
+
+    def _answer(self, problem: OrderingProblem, budget_seconds: float | None) -> PlanResponse:
+        stopwatch = Stopwatch().start()
+        fingerprint = fingerprint_problem(problem, self.config.fingerprint_precision)
+        lookup = (
+            self.cache.get(fingerprint)
+            if self.config.cache_enabled
+            else CacheLookup(entry=None)
+        )
+        if lookup.entry is not None:
+            entry = lookup.entry
+            try:
+                order = fingerprint.from_positions(entry.positions)
+                problem.validate_plan(order)
+            except (ServingError, InvalidPlanError):
+                # A corrupt or incompatible entry must never break serving;
+                # fall through to a cold optimization that replaces it.
+                pass
+            else:
+                needs_refresh = lookup.stale or (
+                    self.config.drift_threshold is not None
+                    and self.cache.needs_revalidation(
+                        entry, problem, self.config.drift_threshold
+                    )
+                )
+                if needs_refresh:
+                    self._schedule_revalidation(problem, fingerprint.key)
+                latency = stopwatch.stop()
+                source = "stale" if lookup.stale else "hit"
+                cost = problem.cost(order)
+                self.metrics.observe(source, latency, cost, entry.optimal)
+                return PlanResponse(
+                    order=order,
+                    service_names=tuple(problem.service(index).name for index in order),
+                    cost=cost,
+                    algorithm=entry.algorithm,
+                    optimal=entry.optimal,
+                    cache_hit=True,
+                    stale=lookup.stale,
+                    fingerprint=fingerprint.key,
+                    latency_seconds=latency,
+                )
+
+        try:
+            result = self._optimize_and_cache(problem, budget_seconds, fingerprint)
+        except ReproError:
+            self.metrics.record_failure()
+            raise
+        latency = stopwatch.stop()
+        self.metrics.observe("cold", latency, result.cost, result.optimal)
+        return PlanResponse(
+            order=result.order,
+            service_names=tuple(problem.service(index).name for index in result.order),
+            cost=result.cost,
+            algorithm=result.algorithm,
+            optimal=result.optimal,
+            cache_hit=False,
+            stale=False,
+            fingerprint=fingerprint.key,
+            latency_seconds=latency,
+        )
+
+    def _optimize_and_cache(
+        self,
+        problem: OrderingProblem,
+        budget_seconds: float | None,
+        fingerprint: ProblemFingerprint | None = None,
+    ):
+        race = self._portfolio.optimize(problem, budget_seconds=budget_seconds)
+        result = race.best
+        if not self.config.cache_enabled:
+            return result
+        if fingerprint is None:
+            fingerprint = fingerprint_problem(problem, self.config.fingerprint_precision)
+        self.cache.put(
+            fingerprint,
+            positions=fingerprint.to_positions(result.order),
+            cost=result.cost,
+            algorithm=result.algorithm,
+            optimal=result.optimal,
+            problem=problem,
+        )
+        return result
+
+    def _schedule_revalidation(self, problem: OrderingProblem, key: str) -> None:
+        """Refresh one cache entry in the background, at most once at a time."""
+        if self._closed.is_set():
+            return
+        with self._revalidating_lock:
+            if key in self._revalidating:
+                return
+            self._revalidating.add(key)
+
+        def refresh() -> None:
+            try:
+                self._optimize_and_cache(problem, None)
+            except ReproError:
+                pass  # The stale entry stays; the next request retries.
+            finally:
+                with self._revalidating_lock:
+                    self._revalidating.discard(key)
+
+        try:
+            self._revalidator.submit(refresh)
+        except RuntimeError:
+            # The executor is shutting down; drop the refresh.
+            with self._revalidating_lock:
+                self._revalidating.discard(key)

@@ -55,3 +55,22 @@ class TestFacade:
         optimal = results["branch_and_bound"].cost
         for result in results.values():
             assert result.cost >= optimal - 1e-9
+
+    def test_compare_reports_per_algorithm_errors_without_aborting(self, four_service_problem):
+        # srivastava_centralized rejects every option and beam_search rejects
+        # unknown keywords, but branch_and_bound accepts use_lemma3 — the
+        # comparison must still return its result alongside the errors.
+        results = compare(
+            four_service_problem,
+            algorithms=["branch_and_bound", "srivastava_centralized", "beam_search"],
+            use_lemma3=True,
+        )
+        assert set(results) == {"branch_and_bound", "srivastava_centralized", "beam_search"}
+        assert results["branch_and_bound"].optimal
+        assert isinstance(results["srivastava_centralized"], OptimizationError)
+        assert isinstance(results["beam_search"], OptimizationError)
+
+    def test_compare_with_unknown_algorithm_reports_the_error(self, three_service_problem):
+        results = compare(three_service_problem, algorithms=["branch_and_bound", "nope"])
+        assert results["branch_and_bound"].optimal
+        assert isinstance(results["nope"], OptimizationError)

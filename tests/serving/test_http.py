@@ -1,0 +1,100 @@
+"""End-to-end tests of the JSON/HTTP plan endpoint (real sockets, ephemeral port)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serialization import problem_to_dict
+from repro.serving import PlanService, PlanServiceConfig, serve
+from repro.workloads import credit_card_screening
+
+
+@pytest.fixture
+def server():
+    with PlanService(PlanServiceConfig(budget_seconds=None)) as plan_service:
+        plan_server = serve(plan_service, host="127.0.0.1", port=0)
+        plan_server.serve_in_background()
+        host, port = plan_server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            plan_server.shutdown()
+            plan_server.server_close()
+
+
+def post_json(url: str, payload: dict) -> tuple[int, dict]:
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def get_json(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+class TestPlanEndpoint:
+    def test_post_plan_answers_with_the_plan(self, server):
+        problem = credit_card_screening()
+        status, payload = post_json(f"{server}/plan", problem_to_dict(problem))
+        assert status == 200
+        assert sorted(payload["order"]) == list(range(problem.size))
+        assert payload["cost"] == pytest.approx(problem.cost(payload["order"]))
+        assert payload["cache_hit"] is False
+        assert set(payload) >= {"algorithm", "optimal", "fingerprint", "latency_seconds"}
+
+    def test_second_request_hits_the_cache(self, server):
+        problem = credit_card_screening()
+        post_json(f"{server}/plan", problem_to_dict(problem))
+        status, payload = post_json(f"{server}/plan", problem_to_dict(problem))
+        assert status == 200
+        assert payload["cache_hit"] is True
+
+    def test_wrapped_document_with_budget(self, server):
+        problem = credit_card_screening()
+        status, payload = post_json(
+            f"{server}/plan",
+            {"problem": problem_to_dict(problem), "budget_seconds": 0.5},
+        )
+        assert status == 200
+        assert sorted(payload["order"]) == list(range(problem.size))
+
+    def test_malformed_document_is_a_400(self, server):
+        status, payload = post_json(f"{server}/plan", {"services": "nope"})
+        assert status == 400
+        assert "error" in payload
+
+    def test_unknown_path_is_a_404(self, server):
+        status, payload = post_json(f"{server}/nope", {})
+        assert status == 404
+        status, payload = get_json(f"{server}/nope")
+        assert status == 404
+
+
+class TestStatsAndHealth:
+    def test_stats_reflects_traffic(self, server):
+        problem = credit_card_screening()
+        post_json(f"{server}/plan", problem_to_dict(problem))
+        post_json(f"{server}/plan", problem_to_dict(problem))
+        status, payload = get_json(f"{server}/stats")
+        assert status == 200
+        assert payload["requests"]["answered"] == 2
+        assert payload["cache"]["hits"] == 1
+
+    def test_healthz(self, server):
+        status, payload = get_json(f"{server}/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}

@@ -1,0 +1,118 @@
+"""Tests of deadline-budgeted portfolio optimization."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import optimize
+from repro.core.optimizer import ALGORITHMS
+from repro.exceptions import ServingError
+from repro.serving import PortfolioOptimizer, PortfolioOptions, run_portfolio
+
+
+class TestOptions:
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ServingError):
+            PortfolioOptions(algorithms=())
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ServingError):
+            PortfolioOptions(algorithms=("branch_and_bound", "quantum_annealer"))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ServingError):
+            PortfolioOptions(budget_seconds=-1.0)
+
+
+class TestRace:
+    def test_best_result_is_at_least_as_good_as_every_member(self, four_service_problem):
+        race = run_portfolio(four_service_problem, PortfolioOptions(budget_seconds=None))
+        assert set(race.results) == {"greedy_min_term", "beam_search", "branch_and_bound"}
+        for result in race.results.values():
+            assert race.best.cost <= result.cost + 1e-9
+        assert race.best.optimal  # branch-and-bound completed and is exact
+
+    def test_zero_budget_still_returns_the_anytime_seed(self, four_service_problem):
+        race = run_portfolio(four_service_problem, PortfolioOptions(budget_seconds=0.0))
+        greedy = optimize(four_service_problem, algorithm="greedy_min_term")
+        assert race.best.cost <= greedy.cost + 1e-9
+        assert "greedy_min_term" in race.results
+
+    def test_deadline_is_respected(self, four_service_problem, monkeypatch):
+        slow_calls = []
+
+        def slow_runner(problem, **options):
+            slow_calls.append(problem)
+            time.sleep(2.0)
+            return optimize(problem, algorithm="exhaustive")
+
+        monkeypatch.setitem(ALGORITHMS, "slow_exact", slow_runner)
+        options = PortfolioOptions(
+            algorithms=("greedy_min_term", "slow_exact"), budget_seconds=0.1
+        )
+        started = time.perf_counter()
+        race = run_portfolio(four_service_problem, options)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0, "the race must return at the budget, not wait for stragglers"
+        assert race.timed_out == ("slow_exact",)
+        assert "slow_exact" not in race.results
+        assert race.best.algorithm == "greedy_min_term"
+
+    def test_member_errors_are_recorded_not_fatal(self, four_service_problem):
+        options = PortfolioOptions(
+            algorithms=("greedy_min_term", "exhaustive"),
+            budget_seconds=None,
+            algorithm_options={"exhaustive": {"max_size": 2}},
+        )
+        race = run_portfolio(four_service_problem, options)
+        assert "exhaustive" in race.errors
+        assert race.best.algorithm == "greedy_min_term"
+
+    def test_invalid_member_options_are_recorded_not_raised(self, four_service_problem):
+        options = PortfolioOptions(
+            algorithms=("greedy_min_term", "beam_search"),
+            budget_seconds=None,
+            algorithm_options={"beam_search": {"bogus_option": 1}},
+        )
+        race = run_portfolio(four_service_problem, options)
+        assert "beam_search" in race.errors
+        assert "bogus_option" in race.errors["beam_search"]
+        assert race.best.algorithm == "greedy_min_term"
+
+    def test_per_algorithm_options_are_forwarded(self, four_service_problem):
+        options = PortfolioOptions(
+            algorithms=("greedy_min_term", "beam_search"),
+            budget_seconds=None,
+            algorithm_options={"beam_search": {"width": 1}},
+        )
+        race = run_portfolio(four_service_problem, options)
+        assert "beam_search" in race.results
+
+    def test_refinement_is_nonnegative(self, four_service_problem):
+        race = run_portfolio(four_service_problem, PortfolioOptions(budget_seconds=None))
+        assert race.refinement >= 0.0
+        assert race.elapsed_seconds >= 0.0
+
+
+class TestLifecycle:
+    def test_closed_optimizer_rejects_new_races(self, four_service_problem):
+        portfolio = PortfolioOptimizer(PortfolioOptions(budget_seconds=None))
+        portfolio.close()
+        with pytest.raises(ServingError):
+            portfolio.optimize(four_service_problem)
+
+    def test_context_manager_closes(self, four_service_problem):
+        with PortfolioOptimizer(PortfolioOptions(budget_seconds=None)) as portfolio:
+            race = portfolio.optimize(four_service_problem)
+            assert race.best.cost > 0
+        with pytest.raises(ServingError):
+            portfolio.optimize(four_service_problem)
+
+    def test_executor_is_reused_across_races(self, four_service_problem, three_service_problem):
+        with PortfolioOptimizer(PortfolioOptions(budget_seconds=None)) as portfolio:
+            first = portfolio.optimize(four_service_problem)
+            second = portfolio.optimize(three_service_problem)
+            assert first.best.plan.problem is four_service_problem
+            assert second.best.plan.problem is three_service_problem

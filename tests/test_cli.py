@@ -76,6 +76,46 @@ class TestSimulate:
         assert "error" in capsys.readouterr().err
 
 
+class TestPlan:
+    def test_plan_reports_portfolio_answer(self, problem_file, capsys):
+        assert main(["plan", problem_file, "--budget", "0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "portfolio" in output
+        assert "plan:" in output
+
+    def test_cached_repeats_hit_the_cache(self, problem_file, capsys):
+        assert main(["plan", problem_file, "--cached", "--repeat", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 3
+        assert [entry["cache_hit"] for entry in payload] == [False, True, True]
+        assert payload[1]["latency_seconds"] <= payload[0]["latency_seconds"]
+
+    def test_uncached_repeats_stay_cold(self, problem_file, capsys):
+        assert main(["plan", problem_file, "--repeat", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["cache_hit"] for entry in payload] == [False, False]
+
+    def test_invalid_repeat_rejected(self, problem_file, capsys):
+        assert main(["plan", problem_file, "--repeat", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_binds_and_shuts_down(self, capsys, monkeypatch):
+        from repro.serving import PlanServer
+
+        # Substitute the blocking accept loop with an immediate interrupt so
+        # the command exercises its full startup/shutdown path.
+        def fake_serve_forever(self, poll_interval=0.5):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(PlanServer, "serve_forever", fake_serve_forever)
+        assert main(["serve", "--port", "0", "--budget", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "listening on http://" in output
+        assert "shutting down" in output
+
+
 class TestScenariosAndExperiments:
     def test_list_scenarios(self, capsys):
         assert main(["scenarios"]) == 0

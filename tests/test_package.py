@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.workflow",
     "repro.estimation",
     "repro.experiments",
+    "repro.serving",
     "repro.utils",
 ]
 
