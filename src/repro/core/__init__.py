@@ -26,6 +26,7 @@ from repro.core.cost_model import (
     validate_order,
 )
 from repro.core.dynamic_programming import DynamicProgrammingOptimizer, dynamic_programming
+from repro.core.evaluation import NeighborhoodEvaluator, PlanEvaluator, PrefixState
 from repro.core.exhaustive import ExhaustiveOptimizer, exhaustive_search
 from repro.core.greedy import GreedyOptimizer, GreedyStrategy, greedy, random_plan
 from repro.core.local_search import (
@@ -56,11 +57,14 @@ __all__ = [
     "GreedyOptimizer",
     "GreedyStrategy",
     "HillClimbingOptimizer",
+    "NeighborhoodEvaluator",
     "OptimizationResult",
     "OrderingProblem",
     "PartialPlan",
     "Plan",
+    "PlanEvaluator",
     "PrecedenceGraph",
+    "PrefixState",
     "ResidualBound",
     "SearchStatistics",
     "Service",

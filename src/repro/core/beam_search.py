@@ -14,12 +14,19 @@ It serves two roles in the reproduction:
 * a scalable heuristic for instances beyond exact reach, and
 * a quality baseline whose gap to the exact optimum quantifies what the
   guarantee of the paper's algorithm is worth.
+
+Prefixes are the kernel's O(1)-extend
+:class:`~repro.core.evaluation.PrefixState`; both score components come
+straight from the kernel (``ε`` is maintained incrementally and is
+bit-identical to the from-scratch cost model, ``ε̄`` is
+:meth:`~repro.core.evaluation.PlanEvaluator.residual_value` over the
+pre-extracted arrays), and candidate generation order and the stable sort
+are unchanged, so ties keep breaking the same way.
 """
 
 from __future__ import annotations
 
-from repro.core.bounds import epsilon_bar
-from repro.core.plan import PartialPlan
+from repro.core.evaluation import PrefixState
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult, SearchStatistics
 from repro.exceptions import OptimizationError
@@ -43,14 +50,15 @@ class BeamSearchOptimizer:
         """Construct a plan by beam search; optimal only if the beam never overflowed."""
         stopwatch = Stopwatch().start()
         stats = SearchStatistics()
-        beam: list[PartialPlan] = [PartialPlan.empty(problem)]
+        evaluator = problem.evaluator()
+        beam: list[PrefixState] = [evaluator.root()]
         overflowed = False
 
         for _ in range(problem.size):
-            candidates: list[PartialPlan] = []
-            for partial in beam:
-                for successor in partial.allowed_extensions():
-                    candidates.append(partial.extend(successor))
+            candidates: list[PrefixState] = []
+            for state in beam:
+                for successor in state.allowed_extensions():
+                    candidates.append(state.extend(successor))
                     stats.nodes_expanded += 1
             if not candidates:
                 raise OptimizationError(
@@ -62,7 +70,7 @@ class BeamSearchOptimizer:
                 candidates = candidates[: self.width]
             beam = candidates
 
-        best = min(beam, key=lambda partial: partial.epsilon)
+        best = min(beam, key=lambda state: state.epsilon)
         stats.plans_evaluated = len(beam)
         stats.extra["beam_width"] = self.width
         stats.extra["beam_overflowed"] = overflowed
@@ -77,11 +85,11 @@ class BeamSearchOptimizer:
             statistics=stats,
         )
 
-    def _score(self, partial: PartialPlan) -> tuple[float, float]:
+    def _score(self, state: PrefixState) -> tuple[float, float]:
         """Order prefixes by incurred cost, breaking ties by residual risk."""
-        if self.use_residual_bound and not partial.is_complete:
-            return (partial.epsilon, epsilon_bar(partial))
-        return (partial.epsilon, 0.0)
+        if self.use_residual_bound and not state.is_complete:
+            return (state.epsilon, state.evaluator.residual_value(state))
+        return (state.epsilon, 0.0)
 
 
 def beam_search(problem: OrderingProblem, width: int = 16) -> OptimizationResult:

@@ -4,8 +4,10 @@ The algorithm of the paper steers its search with two quantities per partial
 plan ``C``:
 
 * ``ε`` — the bottleneck cost of ``C`` itself (maintained incrementally by
-  :class:`repro.core.plan.PartialPlan`); Lemma 1 states it never decreases when
-  the prefix is extended, so it is a valid lower bound for every completion.
+  :class:`repro.core.plan.PartialPlan` and the kernel's
+  :class:`repro.core.evaluation.PrefixState`); Lemma 1 states it never
+  decreases when the prefix is extended, so it is a valid lower bound for
+  every completion.
 * ``ε̄`` — the **maximum possible cost** any service not yet included in ``C``
   may still incur, whatever the remaining ordering.  Lemma 2 states that if
   ``ε >= ε̄`` the bottleneck of every completion of ``C`` equals ``ε``.
@@ -14,14 +16,21 @@ For purely selective services (``σ <= 1``) the number of tuples reaching a
 remaining service is at most the output rate of ``C``.  For proliferative
 services (``σ > 1``) the bound must account for the possible inflation caused
 by remaining proliferative services placed in between — this is the "slight
-modification" the paper mentions; it is implemented here as the product of the
+modification" the paper mentions; it is implemented as the product of the
 remaining ``σ > 1`` values, excluding the bounded service itself.
+
+The arithmetic itself lives in
+:meth:`repro.core.evaluation.PlanEvaluator.residual_parts`, which operates on
+the kernel's pre-extracted arrays; this module is the public face, accepting
+either a validated :class:`~repro.core.plan.PartialPlan` or a kernel
+:class:`~repro.core.evaluation.PrefixState`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.evaluation import PrefixState
 from repro.core.plan import PartialPlan
 from repro.core.problem import OrderingProblem
 
@@ -50,21 +59,7 @@ class ResidualBound:
     last_service_bound: float
 
 
-def _worst_outgoing_transfer(
-    problem: OrderingProblem, source: int, candidates: list[int]
-) -> float:
-    """Largest per-tuple transfer cost from ``source`` to any of ``candidates`` or the sink."""
-    worst = problem.sink_cost(source)
-    for destination in candidates:
-        if destination == source:
-            continue
-        cost = problem.transfer_cost(source, destination)
-        if cost > worst:
-            worst = cost
-    return worst
-
-
-def max_residual_cost(partial: PartialPlan) -> ResidualBound:
+def max_residual_cost(partial: PartialPlan | PrefixState) -> ResidualBound:
     """Compute ``ε̄`` for ``partial`` (see module docstring).
 
     The bound is the maximum of
@@ -74,43 +69,21 @@ def max_residual_cost(partial: PartialPlan) -> ResidualBound:
     * for every remaining service ``j``: the worst-case number of tuples that
       can reach ``j`` times ``(c_j + σ_j * worst outgoing transfer of j)``.
     """
-    problem = partial.problem
-    remaining = partial.remaining()
-
-    # Worst-case completion of the current last service's term.
-    last_bound = 0.0
-    last = partial.last
-    if last is not None and not partial.is_complete:
-        last_rate = partial.prefix_products[-1]
-        worst_out = _worst_outgoing_transfer(problem, last, remaining)
-        last_bound = last_rate * (
-            problem.costs[last] + problem.selectivities[last] * worst_out
+    if isinstance(partial, PrefixState):
+        value, critical, last_bound = partial.evaluator.residual(partial)
+    else:
+        evaluator = partial.problem.evaluator()
+        placed_mask = 0
+        for index in partial.placed:
+            placed_mask |= 1 << index
+        last_rate = partial.prefix_products[-1] if partial.order else 1.0
+        value, critical, last_bound = evaluator.residual_parts(
+            placed_mask, partial.last, last_rate, partial.output_rate
         )
-
-    # Worst-case inflation from remaining proliferative services.
-    proliferation = 1.0
-    for index in remaining:
-        sigma = problem.selectivities[index]
-        if sigma > 1.0:
-            proliferation *= sigma
-
-    best_value = last_bound
-    critical: int | None = None
-    for index in remaining:
-        sigma = problem.selectivities[index]
-        inflation = proliferation / sigma if sigma > 1.0 else proliferation
-        rate_bound = partial.output_rate * inflation
-        others = [other for other in remaining if other != index]
-        worst_out = _worst_outgoing_transfer(problem, index, others)
-        term_bound = rate_bound * (problem.costs[index] + sigma * worst_out)
-        if term_bound > best_value:
-            best_value = term_bound
-            critical = index
-
-    return ResidualBound(value=best_value, critical_service=critical, last_service_bound=last_bound)
+    return ResidualBound(value=value, critical_service=critical, last_service_bound=last_bound)
 
 
-def epsilon_bar(partial: PartialPlan) -> float:
+def epsilon_bar(partial: PartialPlan | PrefixState) -> float:
     """Shorthand returning only the value of ``ε̄``."""
     return max_residual_cost(partial).value
 
@@ -123,4 +96,4 @@ def initial_upper_bound(problem: OrderingProblem) -> float:
     outgoing transfer, inflated by every proliferative service) is an upper
     bound on the cost of *any* plan, hence also on the optimum.
     """
-    return epsilon_bar(PartialPlan.empty(problem))
+    return epsilon_bar(problem.evaluator().root())

@@ -23,14 +23,24 @@ stated in the paper:
 Every rule can be switched off individually (experiment E8 ablates them); with
 all rules enabled the optimizer is still guaranteed to return an optimal plan,
 which the test-suite checks against exhaustive search.
+
+The search runs on the evaluation kernel (:mod:`repro.core.evaluation`):
+prefixes are O(1)-extend :class:`~repro.core.evaluation.PrefixState` objects,
+which carry exactly the Lemma-1 state (``ε`` and the bottleneck position)
+the former ``PartialPlan``-based implementation recomputed through tuple
+copies, and ``ε̄`` comes from
+:meth:`~repro.core.evaluation.PlanEvaluator.residual_value` over the
+pre-extracted arrays.  The kernel's ``ε`` matches the from-scratch cost
+model (:func:`repro.core.cost_model.bottleneck_cost`) bit for bit, so the
+pruning decisions are exactly those the paper's measures prescribe and the
+returned plan is a true optimum of the reported (oracle) cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.bounds import max_residual_cost
-from repro.core.plan import PartialPlan, Plan
+from repro.core.evaluation import PrefixState
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult, SearchStatistics
 from repro.exceptions import OptimizationError, SearchLimitExceededError
@@ -119,12 +129,13 @@ class BranchAndBoundOptimizer:
         self._stats = stats
         self._stopwatch = stopwatch
         self._problem = problem
+        self._evaluator = problem.evaluator()
 
         if self.options.seed_incumbent:
             self._seed_incumbent(problem)
 
         try:
-            self._explore(PartialPlan.empty(problem))
+            self._explore(self._evaluator.root())
         finally:
             stats.elapsed_seconds = stopwatch.stop()
 
@@ -158,7 +169,7 @@ class BranchAndBoundOptimizer:
 
     # -- search ---------------------------------------------------------------
 
-    def _explore(self, partial: PartialPlan) -> int | None:
+    def _explore(self, partial: PrefixState) -> int | None:
         """Depth-first exploration of the completions of ``partial``.
 
         Returns ``None`` in the normal case, or the *length of a pruned prefix*
@@ -183,8 +194,8 @@ class BranchAndBoundOptimizer:
             return None
 
         if options.use_lemma2 and not partial.is_empty:
-            residual = max_residual_cost(partial)
-            if partial.epsilon >= residual.value:
+            residual = self._evaluator.residual_value(partial)
+            if partial.epsilon >= residual:
                 stats.lemma2_closures += 1
                 completed = self._complete_cheapest(partial)
                 self._record_plan(completed.order, completed.epsilon)
@@ -197,7 +208,7 @@ class BranchAndBoundOptimizer:
             child = partial.extend(successor)
             signal = self._explore(child)
             if signal is not None:
-                if partial.size >= signal:
+                if partial.length >= signal:
                     # This prefix is itself inside the pruned region: propagate.
                     return signal
                 # The pruned prefix was the child just explored; its remaining
@@ -212,12 +223,13 @@ class BranchAndBoundOptimizer:
             self._best_order = order
             self._stats.incumbent_updates += 1
 
-    def _complete_cheapest(self, partial: PartialPlan) -> PartialPlan:
+    def _complete_cheapest(self, partial: PrefixState) -> PrefixState:
         """Complete ``partial`` by repeatedly appending the cheapest allowed successor.
 
         Used after a Lemma-2 closure, where any constraint-respecting
         completion has the same bottleneck cost.
         """
+        evaluator = self._evaluator
         current = partial
         while not current.is_complete:
             candidates = current.allowed_extensions()
@@ -225,18 +237,15 @@ class BranchAndBoundOptimizer:
                 raise OptimizationError(
                     "no service can legally be appended; precedence constraints are unsatisfiable"
                 )
-            last = current.last
-            if last is None:
-                successor = min(candidates, key=lambda index: (self._problem.costs[index], index))
+            if current.is_empty:
+                successor = min(candidates, key=lambda index: (evaluator.costs[index], index))
             else:
-                successor = min(
-                    candidates,
-                    key=lambda index: (self._problem.transfer_cost(last, index), index),
-                )
+                row = evaluator.rows[current.last]
+                successor = min(candidates, key=lambda index: (row[index], index))
             current = current.extend(successor)
         return current
 
-    def _ordered_successors(self, partial: PartialPlan) -> list[int]:
+    def _ordered_successors(self, partial: PrefixState) -> list[int]:
         """Successors of ``partial`` in the configured exploration order."""
         candidates = partial.allowed_extensions()
         order = self.options.successor_order
@@ -247,17 +256,14 @@ class BranchAndBoundOptimizer:
         # Cheapest-transfer policy (the paper's): for the empty prefix, order
         # first services by the cost of their best pair, which realises the
         # "append the less expensive pair of WSs" start of the algorithm.
-        last = partial.last
-        if last is None:
+        if partial.is_empty:
             return sorted(candidates, key=lambda index: (self._best_pair_cost(index), index))
-        return sorted(
-            candidates, key=lambda index: (self._problem.transfer_cost(last, index), index)
-        )
+        row = self._evaluator.rows[partial.last]
+        return sorted(candidates, key=lambda index: (row[index], index))
 
     def _best_pair_cost(self, first: int) -> float:
         """Bottleneck cost of the best two-service prefix starting with ``first``."""
-        problem = self._problem
-        start = PartialPlan.empty(problem).extend(first)
+        start = self._evaluator.root().extend(first)
         candidates = start.allowed_extensions()
         if not candidates:
             return start.epsilon

@@ -14,6 +14,14 @@ This module provides
   costs ``t_{i,j}`` (possibly asymmetric, zero diagonal),
 * term/bottleneck computations used by every optimizer, and
 * plan-level diagnostics (per-stage breakdown, bottleneck position).
+
+These from-scratch functions are the *validated public boundary* of the cost
+model and the oracle of the property-based tests.  The optimizers' inner
+loops run on the incremental kernel in :mod:`repro.core.evaluation`, which
+reproduces this module's floating-point arithmetic bit for bit but skips
+validation and per-stage object construction; any change to the term
+expressions here must be mirrored there (the kernel's property tests assert
+exact agreement, so a divergence fails loudly).
 """
 
 from __future__ import annotations

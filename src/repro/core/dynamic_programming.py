@@ -8,6 +8,12 @@ of ``last`` itself is settled only when its successor becomes known).  The
 programme runs in ``O(2^N * N^2)`` time, exponentially better than ``N!``
 enumeration, and serves as a second independent exact baseline for the
 branch-and-bound optimizer (experiments E1–E3).
+
+The inner loop reads the evaluation kernel's pre-extracted cost/selectivity,
+transfer-row and sink arrays (:meth:`~repro.core.problem.OrderingProblem.evaluator`)
+instead of going through per-pair accessor methods, and uses the kernel's
+term expression shapes (``rate * c + rate * sigma * t``), so the winning
+plan's reported cost is bit-identical to the from-scratch cost model.
 """
 
 from __future__ import annotations
@@ -40,8 +46,11 @@ class DynamicProgrammingOptimizer:
             )
         stopwatch = Stopwatch().start()
         stats = SearchStatistics()
-        costs = problem.costs
-        selectivities = problem.selectivities
+        evaluator = problem.evaluator()
+        costs = evaluator.costs
+        selectivities = evaluator.selectivities
+        rows = evaluator.rows
+        sink = evaluator.sink
         precedence = problem.precedence
 
         full_mask = (1 << size) - 1
@@ -78,13 +87,14 @@ class DynamicProgrammingOptimizer:
                 rate_before_last = subset_product[mask ^ (1 << last)]
                 settled_base = rate_before_last * costs[last]
                 outgoing_rate = rate_before_last * selectivities[last]
+                row_last = rows[last]
                 for nxt in range(size):
                     bit = 1 << nxt
                     if mask & bit:
                         continue
                     if predecessor_masks[nxt] & ~mask:
                         continue
-                    settled_term = settled_base + outgoing_rate * problem.transfer_cost(last, nxt)
+                    settled_term = settled_base + outgoing_rate * row_last[nxt]
                     candidate = value if value >= settled_term else settled_term
                     key = (mask | bit, nxt)
                     existing = best.get(key)
@@ -99,8 +109,9 @@ class DynamicProgrammingOptimizer:
             if state is None:
                 continue
             rate_before_last = subset_product[full_mask ^ (1 << last)]
-            final_term = rate_before_last * (
-                costs[last] + selectivities[last] * problem.sink_cost(last)
+            final_term = (
+                rate_before_last * costs[last]
+                + rate_before_last * selectivities[last] * sink[last]
             )
             total = state[0] if state[0] >= final_term else final_term
             stats.plans_evaluated += 1

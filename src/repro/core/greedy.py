@@ -4,13 +4,21 @@ These are the cheap baselines the evaluation compares the branch-and-bound
 optimizer against (experiment E4) and the source of the initial incumbent the
 branch-and-bound search starts from.  None of them is optimal in general; all
 of them respect precedence constraints.
+
+Plans are grown through the evaluation kernel's O(1)-extend
+:class:`~repro.core.evaluation.PrefixState` — the one-step-lookahead
+``min_term`` strategy in particular scores every candidate extension in O(1)
+instead of copying prefix tuples.  The kernel's ``epsilon`` arithmetic is
+bit-identical to the from-scratch cost model
+(:func:`repro.core.cost_model.bottleneck_cost`), and candidates are still
+ranked with the same ``(score, index)`` tie-breaking as before the kernel.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.core.plan import PartialPlan
+from repro.core.evaluation import PlanEvaluator, PrefixState
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult, SearchStatistics
 from repro.exceptions import OptimizationError
@@ -67,19 +75,20 @@ class GreedyOptimizer:
         stopwatch = Stopwatch().start()
         stats = SearchStatistics()
         rng = random.Random(self.seed)
-        partial = PartialPlan.empty(problem)
-        while not partial.is_complete:
-            candidates = partial.allowed_extensions()
+        evaluator = problem.evaluator()
+        state = evaluator.root()
+        while not state.is_complete:
+            candidates = state.allowed_extensions()
             if not candidates:
                 raise OptimizationError(
                     "no service can legally be appended; precedence constraints are unsatisfiable"
                 )
-            successor = self._pick(problem, partial, candidates, rng)
-            partial = partial.extend(successor)
+            successor = self._pick(evaluator, state, candidates, rng)
+            state = state.extend(successor)
             stats.nodes_expanded += 1
         stats.plans_evaluated = 1
         stats.elapsed_seconds = stopwatch.stop()
-        plan = problem.plan(partial.order)
+        plan = problem.plan(state.order)
         return OptimizationResult(
             plan=plan, cost=plan.cost, algorithm=self.name, optimal=False, statistics=stats
         )
@@ -88,33 +97,35 @@ class GreedyOptimizer:
 
     def _pick(
         self,
-        problem: OrderingProblem,
-        partial: PartialPlan,
+        evaluator: PlanEvaluator,
+        state: PrefixState,
         candidates: list[int],
         rng: random.Random,
     ) -> int:
         if self.strategy == GreedyStrategy.RANDOM:
             return rng.choice(candidates)
         if self.strategy == GreedyStrategy.CHEAPEST_COST:
-            return min(candidates, key=lambda index: (problem.costs[index], index))
+            return min(candidates, key=lambda index: (evaluator.costs[index], index))
         if self.strategy == GreedyStrategy.MOST_SELECTIVE:
-            return min(candidates, key=lambda index: (problem.selectivities[index], index))
+            return min(candidates, key=lambda index: (evaluator.selectivities[index], index))
         if self.strategy == GreedyStrategy.MIN_TERM:
-            return min(candidates, key=lambda index: (partial.extend(index).epsilon, index))
+            return min(candidates, key=lambda index: (state.extend(index).epsilon, index))
         # NEAREST_SUCCESSOR
-        last = partial.last
-        if last is None:
-            return min(candidates, key=lambda index: (self._best_pair_cost(problem, index), index))
-        return min(candidates, key=lambda index: (problem.transfer_cost(last, index), index))
+        if state.is_empty:
+            return min(
+                candidates, key=lambda index: (_best_pair_cost(evaluator, index), index)
+            )
+        last = state.last
+        return min(candidates, key=lambda index: (evaluator.rows[last][index], index))
 
-    @staticmethod
-    def _best_pair_cost(problem: OrderingProblem, first: int) -> float:
-        """Bottleneck cost of the cheapest two-service prefix starting with ``first``."""
-        start = PartialPlan.empty(problem).extend(first)
-        candidates = start.allowed_extensions()
-        if not candidates:
-            return start.epsilon
-        return min(start.extend(second).epsilon for second in candidates)
+
+def _best_pair_cost(evaluator: PlanEvaluator, first: int) -> float:
+    """Bottleneck cost of the cheapest two-service prefix starting with ``first``."""
+    start = evaluator.root().extend(first)
+    candidates = start.allowed_extensions()
+    if not candidates:
+        return start.epsilon
+    return min(start.extend(second).epsilon for second in candidates)
 
 
 def greedy(

@@ -7,8 +7,18 @@ These metaheuristics serve two purposes in the reproduction:
 * a quality upper bound for instances too large for any exact method.
 
 Both operate on complete plans and explore *swap* (exchange two positions) and
-*insertion* (move one service to another position) neighbourhoods, rejecting
-neighbours that violate precedence constraints.
+*relocate/insert* (move one service to another position) neighbourhoods,
+rejecting neighbours that violate precedence constraints.
+
+Both run on the evaluation kernel (:mod:`repro.core.evaluation`): a
+:class:`~repro.core.evaluation.NeighborhoodEvaluator` around the current plan
+re-scores only the window of positions a move touches, and hill climbing
+passes its running best as the incumbent bound so a worse neighbour is
+abandoned the moment its partial maximum meets it.  Delta costs are
+bit-identical to from-scratch :func:`repro.core.cost_model.bottleneck_cost`
+evaluation and the neighbour enumeration order and random streams are
+unchanged, so from a given starting plan both heuristics walk exactly the
+trajectory a from-scratch-scoring implementation would — only faster.
 """
 
 from __future__ import annotations
@@ -16,7 +26,6 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator
 
 from repro.core.greedy import GreedyOptimizer, GreedyStrategy
 from repro.core.problem import OrderingProblem
@@ -30,31 +39,6 @@ __all__ = [
     "hill_climbing",
     "simulated_annealing",
 ]
-
-
-def _neighbours(order: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
-    """Yield all swap and insertion neighbours of ``order``."""
-    size = len(order)
-    for i in range(size):
-        for j in range(i + 1, size):
-            swapped = list(order)
-            swapped[i], swapped[j] = swapped[j], swapped[i]
-            yield tuple(swapped)
-    for i in range(size):
-        for j in range(size):
-            if i == j:
-                continue
-            moved = list(order)
-            service = moved.pop(i)
-            moved.insert(j, service)
-            candidate = tuple(moved)
-            if candidate != order:
-                yield candidate
-
-
-def _is_feasible(problem: OrderingProblem, order: tuple[int, ...]) -> bool:
-    precedence = problem.precedence
-    return precedence is None or precedence.is_valid_order(order)
 
 
 def _initial_order(problem: OrderingProblem, seed: int) -> tuple[int, ...]:
@@ -75,7 +59,7 @@ def _initial_order(problem: OrderingProblem, seed: int) -> tuple[int, ...]:
 
 
 class HillClimbingOptimizer:
-    """Steepest-descent local search over swap/insertion neighbourhoods."""
+    """Steepest-descent local search over swap/relocate neighbourhoods."""
 
     name = "hill_climbing"
 
@@ -89,25 +73,44 @@ class HillClimbingOptimizer:
         """Improve a greedy plan until no neighbour is better (or iterations run out)."""
         stopwatch = Stopwatch().start()
         stats = SearchStatistics()
+        evaluator = problem.evaluator()
         current = _initial_order(problem, self.seed)
-        current_cost = problem.cost(current)
+        neighborhood = evaluator.neighborhood(current)
+        current_cost = neighborhood.cost
         stats.plans_evaluated += 1
+        size = len(current)
         for _ in range(self.max_iterations):
             stats.nodes_expanded += 1
             best_neighbour: tuple[int, ...] | None = None
             best_cost = current_cost
-            for neighbour in _neighbours(current):
-                if not _is_feasible(problem, neighbour):
-                    continue
-                cost = problem.cost(neighbour)
-                stats.plans_evaluated += 1
-                if cost < best_cost:
-                    best_cost = cost
-                    best_neighbour = neighbour
+            # Swap moves, then relocate moves, in the fixed enumeration order
+            # of the original implementation; the running best is the
+            # incumbent bound, so most non-improving moves abandon early.
+            for i in range(size):
+                for j in range(i + 1, size):
+                    if not neighborhood.swap_feasible(i, j):
+                        continue
+                    cost = neighborhood.swap_cost(i, j, best_cost)
+                    stats.plans_evaluated += 1
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_neighbour = neighborhood.swapped(i, j)
+            for i in range(size):
+                for j in range(size):
+                    if i == j:
+                        continue
+                    if not neighborhood.relocate_feasible(i, j):
+                        continue
+                    cost = neighborhood.relocate_cost(i, j, best_cost)
+                    stats.plans_evaluated += 1
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_neighbour = neighborhood.relocated(i, j)
             if best_neighbour is None:
                 break
             current = best_neighbour
             current_cost = best_cost
+            neighborhood = evaluator.neighborhood(current)
             stats.incumbent_updates += 1
         stats.elapsed_seconds = stopwatch.stop()
         plan = problem.plan(current)
@@ -142,7 +145,13 @@ class SimulatedAnnealingOptions:
 
 
 class SimulatedAnnealingOptimizer:
-    """Simulated annealing over the swap/insertion neighbourhood."""
+    """Simulated annealing over the swap/relocate neighbourhood.
+
+    Proposals are scored by kernel delta evaluation (exact, so the Metropolis
+    acceptance decisions — and hence the whole seeded trajectory — match a
+    from-scratch implementation bit for bit); the neighbourhood tables are
+    rebuilt only when a proposal is accepted.
+    """
 
     name = "simulated_annealing"
 
@@ -155,28 +164,53 @@ class SimulatedAnnealingOptimizer:
         stopwatch = Stopwatch().start()
         stats = SearchStatistics()
         rng = random.Random(options.seed)
+        evaluator = problem.evaluator()
 
         current = _initial_order(problem, options.seed)
-        current_cost = problem.cost(current)
+        neighborhood = evaluator.neighborhood(current)
+        current_cost = neighborhood.cost
         best = current
         best_cost = current_cost
         stats.plans_evaluated += 1
+        size = len(current)
 
         temperature = options.initial_temperature * max(current_cost, 1e-12)
         for _ in range(options.steps):
             stats.nodes_expanded += 1
-            proposal = self._propose(current, rng)
-            if not _is_feasible(problem, proposal):
-                temperature *= options.cooling
-                continue
-            cost = problem.cost(proposal)
+            if size < 2:
+                proposal = current
+                cost = current_cost
+                is_swap, i, j = True, 0, 0
+            else:
+                is_swap = rng.random() < 0.5
+                i, j = rng.sample(range(size), 2)
+                feasible = (
+                    neighborhood.swap_feasible(i, j)
+                    if is_swap
+                    else neighborhood.relocate_feasible(i, j)
+                )
+                if not feasible:
+                    temperature *= options.cooling
+                    continue
+                cost = (
+                    neighborhood.swap_cost(i, j)
+                    if is_swap
+                    else neighborhood.relocate_cost(i, j)
+                )
+                proposal = None  # materialized only if accepted
             stats.plans_evaluated += 1
             accept = cost <= current_cost
             if not accept and temperature > 0:
                 accept = rng.random() < math.exp((current_cost - cost) / temperature)
             if accept:
-                current = proposal
-                current_cost = cost
+                if proposal is None:
+                    proposal = (
+                        neighborhood.swapped(i, j) if is_swap else neighborhood.relocated(i, j)
+                    )
+                if proposal != current:
+                    current = proposal
+                    current_cost = cost
+                    neighborhood = evaluator.neighborhood(current)
                 if cost < best_cost:
                     best = proposal
                     best_cost = cost
@@ -188,22 +222,6 @@ class SimulatedAnnealingOptimizer:
         return OptimizationResult(
             plan=plan, cost=plan.cost, algorithm=self.name, optimal=False, statistics=stats
         )
-
-    @staticmethod
-    def _propose(order: tuple[int, ...], rng: random.Random) -> tuple[int, ...]:
-        """A random swap or insertion move."""
-        size = len(order)
-        if size < 2:
-            return order
-        modified = list(order)
-        if rng.random() < 0.5:
-            i, j = rng.sample(range(size), 2)
-            modified[i], modified[j] = modified[j], modified[i]
-        else:
-            i, j = rng.sample(range(size), 2)
-            service = modified.pop(i)
-            modified.insert(j, service)
-        return tuple(modified)
 
 
 def hill_climbing(problem: OrderingProblem, max_iterations: int = 1000, seed: int = 0) -> OptimizationResult:

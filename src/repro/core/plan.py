@@ -1,13 +1,21 @@
 """Plan representations: complete linear plans and partial plans.
 
 A *plan* is a linear ordering of all services; its quality is the bottleneck
-cost metric of Eq. 1.  A *partial plan* is a prefix of a plan; it is the unit
-of work of the branch-and-bound optimizer and carries the incremental
-quantities the paper's two guide measures (``ε`` and ``ε̄``) are computed from:
+cost metric of Eq. 1.  A *partial plan* is a validated prefix of a plan; it
+carries the incremental quantities the paper's two guide measures (``ε`` and
+``ε̄``) are computed from:
 
 * the prefix selectivity products,
 * the bottleneck cost ``ε`` of the prefix (Lemma 1's lower bound), and
 * the position of the prefix's bottleneck service (needed for Lemma 3).
+
+``PartialPlan`` is the *public, validated* prefix API (it checks indices and
+duplicates, and exposes the full prefix-product tuple).  The optimizers' hot
+loops use the unvalidated, O(1)-extend
+:class:`repro.core.evaluation.PrefixState` instead; ``PartialPlan.extend``
+delegates its term arithmetic to the same kernel expression shapes, so a
+complete ``PartialPlan``'s ``epsilon`` is bit-identical to
+:func:`repro.core.cost_model.bottleneck_cost` of its order.
 """
 
 from __future__ import annotations
@@ -205,28 +213,35 @@ class PartialPlan:
                 f"service index {service_index} out of range [0, {self.problem.size})"
             )
         problem = self.problem
+        evaluator = problem.evaluator()
+        costs = evaluator.costs
+        selectivities = evaluator.selectivities
 
+        # Same expression shapes as the evaluation kernel (and therefore as
+        # cost_model.stage_costs): rate*c + rate*sigma*t, left to right.
         settled_epsilon = self.settled_epsilon
         settled_position = self.settled_position
         if self.order:
             previous_last = self.order[-1]
             previous_rate = self.prefix_products[-1]
-            settled_term = previous_rate * (
-                problem.costs[previous_last]
-                + problem.selectivities[previous_last]
-                * problem.transfer_cost(previous_last, service_index)
+            settled_term = (
+                previous_rate * costs[previous_last]
+                + previous_rate
+                * selectivities[previous_last]
+                * evaluator.rows[previous_last][service_index]
             )
             if settled_term > settled_epsilon:
                 settled_epsilon = settled_term
                 settled_position = len(self.order) - 1
 
         new_rate = self.output_rate
-        partial_term = new_rate * problem.costs[service_index]
         if self.is_complete_after_append():
-            partial_term = new_rate * (
-                problem.costs[service_index]
-                + problem.selectivities[service_index] * problem.sink_cost(service_index)
+            partial_term = (
+                new_rate * costs[service_index]
+                + new_rate * selectivities[service_index] * evaluator.sink[service_index]
             )
+        else:
+            partial_term = new_rate * costs[service_index]
 
         if settled_epsilon >= partial_term:
             epsilon = settled_epsilon
@@ -240,7 +255,7 @@ class PartialPlan:
             order=self.order + (service_index,),
             placed=self.placed | {service_index},
             prefix_products=self.prefix_products + (new_rate,),
-            output_rate=new_rate * problem.selectivities[service_index],
+            output_rate=new_rate * selectivities[service_index],
             epsilon=epsilon,
             bottleneck_position=bottleneck_position,
             settled_epsilon=settled_epsilon,

@@ -14,7 +14,10 @@ The problem object is immutable; "what if" variations are created through the
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.evaluation import PlanEvaluator
 
 from repro.core.cost_model import (
     CommunicationCostMatrix,
@@ -73,6 +76,7 @@ class OrderingProblem:
         self._costs = tuple(service.cost for service in self._services)
         self._selectivities = tuple(service.selectivity for service in self._services)
         self._name_to_index = {service.name: index for index, service in enumerate(self._services)}
+        self._evaluator: "PlanEvaluator | None" = None
 
     # -- constructors ------------------------------------------------------
 
@@ -222,6 +226,22 @@ class OrderingProblem:
         return bottleneck_cost(
             self._costs, self._selectivities, self._transfer, order, self._sink_transfer
         )
+
+    def evaluator(self) -> "PlanEvaluator":
+        """The incremental evaluation kernel bound to this problem (cached).
+
+        The kernel (:mod:`repro.core.evaluation`) pre-extracts the cost,
+        selectivity, transfer and sink arrays once; every optimizer shares the
+        same instance through this accessor.  Safe to call concurrently: the
+        problem is immutable, so a rare duplicate build is harmless.
+        """
+        cached = self._evaluator
+        if cached is None:
+            from repro.core.evaluation import PlanEvaluator
+
+            cached = PlanEvaluator(self)
+            self._evaluator = cached
+        return cached
 
     def stage_costs(self, order: Sequence[int]) -> list[StageCost]:
         """Per-stage cost breakdown of the complete plan ``order``."""

@@ -13,7 +13,10 @@ much longer on large instances.  The portfolio exploits that spread:
 The portfolio reuses :data:`repro.core.optimizer.ALGORITHMS` — it never
 duplicates a runner — and returns the best
 :class:`~repro.core.result.OptimizationResult` observed when the deadline
-fires.  Because the seed always completes, the portfolio's answer is never
+fires.  Before the race starts it builds the problem's evaluation kernel
+(:meth:`~repro.core.problem.OrderingProblem.evaluator`) once, so every racing
+member shares the same pre-extracted arrays instead of each worker thread
+lazily building its own on first use.  Because the seed always completes, the portfolio's answer is never
 worse than the seed algorithm's; algorithms that error out (e.g. an exact
 solver refusing an over-size instance) are recorded, not fatal.
 
@@ -149,6 +152,10 @@ class PortfolioOptimizer:
             raise ServingError(f"budget_seconds must be non-negative, got {budget!r}")
 
         stopwatch = Stopwatch().start()
+        # Build the shared evaluation kernel before any member runs: the racing
+        # threads all reuse it, and the (idempotent) lazy construction happens
+        # once instead of concurrently in every worker.
+        problem.evaluator()
         seed_name = options.algorithms[0]
         results: dict[str, OptimizationResult] = {}
         errors: dict[str, str] = {}

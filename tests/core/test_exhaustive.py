@@ -21,8 +21,11 @@ class TestExhaustive:
 
     def test_counts_every_permutation(self, four_service_problem):
         result = exhaustive_search(four_service_problem)
-        assert result.statistics.nodes_expanded == 24
+        # Without constraints every complete permutation is evaluated, and the
+        # prefix-sharing recursion visits every feasible prefix exactly once:
+        # 4 + 4*3 + 4*3*2 + 4! nodes for n = 4.
         assert result.statistics.plans_evaluated == 24
+        assert result.statistics.nodes_expanded == 4 + 12 + 24 + 24
 
     def test_respects_precedence(self, constrained_problem):
         result = exhaustive_search(constrained_problem)
