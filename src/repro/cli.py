@@ -14,7 +14,9 @@ writing Python:
   print its table,
 * ``repro plan``       — answer plan requests through the serving subsystem
   (portfolio race under a latency budget, optionally cached),
-* ``repro serve``      — run the long-running JSON/HTTP plan service.
+* ``repro serve``      — run the long-running JSON/HTTP plan service,
+* ``repro bench``      — run one of the repository's benchmark modules and
+  write its JSON artifact.
 
 Every subcommand supports ``--json`` for machine-readable output where that is
 meaningful.  The module is import-safe: ``main`` takes an ``argv`` list and
@@ -101,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency budget in seconds for the optimizer portfolio",
     )
     plan.add_argument("--json", action="store_true", help="print the responses as JSON")
+    plan.add_argument(
+        "--backend",
+        default="threads",
+        choices=("threads", "processes"),
+        help="portfolio racing backend (processes terminates stragglers at the deadline)",
+    )
 
     serve_cmd = subparsers.add_parser("serve", help="run the long-running JSON/HTTP plan service")
     serve_cmd.add_argument("--host", default="127.0.0.1", help="interface to bind")
@@ -113,6 +121,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--ttl", type=float, default=300.0, help="cached plan lifetime in seconds (0 = no expiry)"
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        default="threads",
+        choices=("threads", "processes"),
+        help="portfolio racing backend (processes terminates stragglers at the deadline)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="run a benchmark module (benchmarks/bench_<name>.py) and write its JSON"
+    )
+    bench.add_argument("name", help="benchmark name, e.g. 'optimizers' or 'parallel'")
+    bench.add_argument(
+        "--benchmarks-dir",
+        default="benchmarks",
+        help="directory holding the bench_*.py modules (default: ./benchmarks); "
+        "must come before the benchmark name — everything after it is forwarded",
+    )
+    bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the benchmark module (e.g. --quick -o out.json)",
     )
 
     report = subparsers.add_parser(
@@ -198,6 +228,7 @@ def _command_plan(args: argparse.Namespace) -> int:
         budget_seconds=args.budget,
         cache_enabled=args.cached,
         stale_while_revalidate=args.cached,
+        portfolio_backend=args.backend,
     )
     with PlanService(config) as service:
         responses = [service.submit(problem) for _ in range(args.repeat)]
@@ -224,6 +255,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         budget_seconds=args.budget,
         cache_capacity=args.cache_capacity,
         cache_ttl=args.ttl if args.ttl > 0 else None,
+        portfolio_backend=args.backend,
     )
     with PlanService(config) as service:
         try:
@@ -270,6 +302,32 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    import importlib.util
+    from pathlib import Path
+
+    name = args.name
+    if not name.startswith("bench_"):
+        name = f"bench_{name}"
+    path = Path(args.benchmarks_dir) / f"{name}.py"
+    if not path.is_file():
+        available = sorted(p.stem for p in Path(args.benchmarks_dir).glob("bench_*.py"))
+        raise ReproError(
+            f"no benchmark module at {path}; available: {', '.join(available) or '(none)'}"
+        )
+    spec = importlib.util.spec_from_file_location(name, path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if not hasattr(module, "main"):
+        raise ReproError(f"{path} does not expose a main(argv) entry point")
+    forwarded = list(args.bench_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    code = module.main(forwarded)
+    return 0 if code is None else int(code)
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from repro.experiments import generate_report, write_report
 
@@ -293,6 +351,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _command_experiment,
         "plan": _command_plan,
         "serve": _command_serve,
+        "bench": _command_bench,
         "report": _command_report,
     }
     try:

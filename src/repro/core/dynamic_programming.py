@@ -9,11 +9,18 @@ programme runs in ``O(2^N * N^2)`` time, exponentially better than ``N!``
 enumeration, and serves as a second independent exact baseline for the
 branch-and-bound optimizer (experiments E1–E3).
 
-The inner loop reads the evaluation kernel's pre-extracted cost/selectivity,
-transfer-row and sink arrays (:meth:`~repro.core.problem.OrderingProblem.evaluator`)
-instead of going through per-pair accessor methods, and uses the kernel's
-term expression shapes (``rate * c + rate * sigma * t``), so the winning
-plan's reported cost is bit-identical to the from-scratch cost model.
+The state table is laid out as *per-mask flat arrays* — ``values[mask]`` is a
+plain list indexed by ``last``, allocated lazily for reachable masks only —
+instead of a ``dict`` keyed by ``(mask, last)`` tuples: the inner loop then
+costs two list indexings per transition rather than a tuple construction plus
+two hash probes, which is where the dict-based formulation spent most of its
+time.  Per-service successor tuples ``(next, bit, predecessor_mask, t)`` are
+precomputed once, so the transition loop touches no accessor methods at all.
+The transition arithmetic keeps the evaluation kernel's term expression
+shapes (``rate * c + rate * sigma * t``), so the winning plan's reported cost
+is bit-identical to the from-scratch cost model, and the iteration order
+(mask ascending, last ascending, next ascending, strict improvement) is
+unchanged — the flat layout returns exactly the plans the dict layout did.
 """
 
 from __future__ import annotations
@@ -24,6 +31,8 @@ from repro.exceptions import OptimizationError, ProblemTooLargeError
 from repro.utils.timing import Stopwatch
 
 __all__ = ["DynamicProgrammingOptimizer", "dynamic_programming"]
+
+_INF = float("inf")
 
 
 class DynamicProgrammingOptimizer:
@@ -62,85 +71,114 @@ class DynamicProgrammingOptimizer:
                     mask |= 1 << pred
                 predecessor_masks[index] = mask
 
+        # Per-service static transition tuples: every feasible-by-identity
+        # successor of `last` with its bit, precedence mask and transfer cost.
+        successors: list[tuple[tuple[int, int, int, float], ...]] = [
+            tuple(
+                (nxt, 1 << nxt, predecessor_masks[nxt], rows[last][nxt])
+                for nxt in range(size)
+                if nxt != last
+            )
+            for last in range(size)
+        ]
+
         # Selectivity product of every subset, built incrementally by lowest set bit.
         subset_product = [1.0] * (1 << size)
         for mask in range(1, 1 << size):
             lowest = (mask & -mask).bit_length() - 1
             subset_product[mask] = subset_product[mask ^ (1 << lowest)] * selectivities[lowest]
 
-        # best[(mask, last)] = (value, previous_last); value is the smallest
-        # achievable maximum over the settled terms of mask \ {last}.
-        best: dict[tuple[int, int], tuple[float, int | None]] = {}
+        # values[mask][last] is the smallest achievable maximum over the
+        # settled terms of mask \ {last}; parents[mask][last] the predecessor
+        # of `last` in the plan attaining it (-1 for none).  Rows are
+        # allocated lazily: only reachable masks ever hold a list.
+        values: list[list[float] | None] = [None] * (1 << size)
+        parents: list[list[int] | None] = [None] * (1 << size)
+        seeds = 0
         for index in range(size):
             if predecessor_masks[index] == 0:
-                best[(1 << index, index)] = (0.0, None)
-        stats.nodes_expanded = len(best)
+                row = [_INF] * size
+                row[index] = 0.0
+                values[1 << index] = row
+                parent_row = [-1] * size
+                parents[1 << index] = parent_row
+                seeds += 1
+        stats.nodes_expanded = seeds
+        dp_states = seeds
 
-        for mask in range(1, 1 << size):
+        for mask in range(1, full_mask + 1):
+            value_row = values[mask]
+            if value_row is None:
+                continue
+            not_mask = ~mask
             for last in range(size):
-                if not mask & (1 << last):
+                value = value_row[last]
+                if value == _INF:
                     continue
-                state = best.get((mask, last))
-                if state is None:
-                    continue
-                value = state[0]
                 rate_before_last = subset_product[mask ^ (1 << last)]
                 settled_base = rate_before_last * costs[last]
                 outgoing_rate = rate_before_last * selectivities[last]
-                row_last = rows[last]
-                for nxt in range(size):
-                    bit = 1 << nxt
+                for nxt, bit, pred_mask, transfer in successors[last]:
                     if mask & bit:
                         continue
-                    if predecessor_masks[nxt] & ~mask:
+                    if pred_mask & not_mask:
                         continue
-                    settled_term = settled_base + outgoing_rate * row_last[nxt]
+                    settled_term = settled_base + outgoing_rate * transfer
                     candidate = value if value >= settled_term else settled_term
-                    key = (mask | bit, nxt)
-                    existing = best.get(key)
-                    if existing is None or candidate < existing[0]:
-                        best[key] = (candidate, last)
+                    next_mask = mask | bit
+                    next_row = values[next_mask]
+                    if next_row is None:
+                        next_row = [_INF] * size
+                        values[next_mask] = next_row
+                        next_parents = [-1] * size
+                        parents[next_mask] = next_parents
+                    if candidate < next_row[nxt]:
+                        if next_row[nxt] == _INF:
+                            dp_states += 1
+                        next_row[nxt] = candidate
+                        parents[next_mask][nxt] = last  # type: ignore[index]
                         stats.nodes_expanded += 1
 
-        best_cost = float("inf")
-        best_last: int | None = None
-        for last in range(size):
-            state = best.get((full_mask, last))
-            if state is None:
-                continue
-            rate_before_last = subset_product[full_mask ^ (1 << last)]
-            final_term = (
-                rate_before_last * costs[last]
-                + rate_before_last * selectivities[last] * sink[last]
-            )
-            total = state[0] if state[0] >= final_term else final_term
-            stats.plans_evaluated += 1
-            if total < best_cost:
-                best_cost = total
-                best_last = last
+        best_cost = _INF
+        best_last = -1
+        final_row = values[full_mask]
+        if final_row is not None:
+            for last in range(size):
+                value = final_row[last]
+                if value == _INF:
+                    continue
+                rate_before_last = subset_product[full_mask ^ (1 << last)]
+                final_term = (
+                    rate_before_last * costs[last]
+                    + rate_before_last * selectivities[last] * sink[last]
+                )
+                total = value if value >= final_term else final_term
+                stats.plans_evaluated += 1
+                if total < best_cost:
+                    best_cost = total
+                    best_last = last
 
-        stats.extra["dp_states"] = len(best)
+        stats.extra["dp_states"] = dp_states
         stats.elapsed_seconds = stopwatch.stop()
 
-        if best_last is None:
+        if best_last < 0:
             raise OptimizationError("no feasible ordering satisfies the precedence constraints")
 
-        order = self._reconstruct(best, full_mask, best_last)
+        order = self._reconstruct(parents, full_mask, best_last)
         plan = problem.plan(order)
         return OptimizationResult(
             plan=plan, cost=plan.cost, algorithm=self.name, optimal=True, statistics=stats
         )
 
     @staticmethod
-    def _reconstruct(
-        best: dict[tuple[int, int], tuple[float, int | None]], mask: int, last: int
-    ) -> list[int]:
+    def _reconstruct(parents: list[list[int] | None], mask: int, last: int) -> list[int]:
         """Walk the predecessor pointers back to the first service."""
         order_reversed = [last]
         while True:
-            value = best[(mask, last)]
-            previous = value[1]
-            if previous is None:
+            parent_row = parents[mask]
+            assert parent_row is not None
+            previous = parent_row[last]
+            if previous < 0:
                 break
             mask ^= 1 << last
             last = previous

@@ -68,6 +68,10 @@ class ExperimentError(ReproError):
     """An experiment definition or harness invocation is invalid."""
 
 
+class ParallelError(ReproError):
+    """The parallel execution engine was misconfigured or a worker process failed."""
+
+
 class ServingError(ReproError):
     """The plan-serving subsystem was misconfigured or reached an invalid state."""
 

@@ -20,7 +20,12 @@ from repro.experiments.e5_selectivity import run_e5_selectivity
 from repro.experiments.e6_btsp import run_e6_btsp
 from repro.experiments.e7_simulation import run_e7_simulation
 from repro.experiments.e8_ablation import ABLATION_CONFIGURATIONS, run_e8_ablation
-from repro.experiments.harness import Experiment, ExperimentRegistry, ExperimentResult
+from repro.experiments.harness import (
+    Experiment,
+    ExperimentRegistry,
+    ExperimentResult,
+    optimize_suite,
+)
 from repro.experiments.report import generate_report, render_report, write_report
 
 REGISTRY = ExperimentRegistry()
@@ -86,6 +91,7 @@ __all__ = [
     "ExperimentResult",
     "REGISTRY",
     "generate_report",
+    "optimize_suite",
     "render_report",
     "run_e1_optimality",
     "run_e2_pruning",

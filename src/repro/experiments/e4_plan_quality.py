@@ -12,11 +12,10 @@ baselines degrade as heterogeneity grows.
 
 from __future__ import annotations
 
-from repro.core.branch_and_bound import branch_and_bound
 from repro.core.greedy import GreedyOptimizer, GreedyStrategy
 from repro.core.local_search import HillClimbingOptimizer
 from repro.core.srivastava import SrivastavaOptimizer
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, optimize_suite
 from repro.utils.tables import Table
 from repro.workloads.suites import heterogeneity_suite
 
@@ -51,8 +50,14 @@ def run_e4_plan_quality(
     levels: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
     instances_per_level: int = 4,
     seed: int = 404,
+    workers: int | None = None,
 ) -> ExperimentResult:
-    """Sweep transfer-cost heterogeneity and compare baselines to the optimum."""
+    """Sweep transfer-cost heterogeneity and compare baselines to the optimum.
+
+    The exact optima are bulk-compiled per level through
+    :func:`~repro.experiments.harness.optimize_suite` (``workers`` > 1 fans
+    them out over the parallel engine's worker pool).
+    """
     suites = heterogeneity_suite(
         service_count=service_count,
         levels=levels,
@@ -63,22 +68,33 @@ def run_e4_plan_quality(
     table = Table(headers, title="E4: plan quality vs communication heterogeneity")
 
     degradation: dict[str, list[float]] = {name: [] for name in BASELINES}
-    for level in levels:
-        problems = suites[level]
-        optimal_costs: list[float] = []
-        ratios: dict[str, list[float]] = {name: [] for name in BASELINES}
-        for index, problem in enumerate(problems):
-            optimum = branch_and_bound(problem).cost
-            optimal_costs.append(optimum)
+    # One pool for the whole sweep: worker startup is paid once, not per level.
+    pool = None
+    if workers is not None and workers > 1:
+        from repro.parallel import OptimizerPool
+
+        pool = OptimizerPool(workers=workers)
+    try:
+        for level in levels:
+            problems = suites[level]
+            optimal_costs: list[float] = []
+            ratios: dict[str, list[float]] = {name: [] for name in BASELINES}
+            optima = optimize_suite(problems, "branch_and_bound", pool=pool)
+            for index, (problem, exact) in enumerate(zip(problems, optima)):
+                optimum = exact.cost
+                optimal_costs.append(optimum)
+                for name in BASELINES:
+                    cost = _baseline_cost(name, problem, seed=seed + index)
+                    ratios[name].append(cost / max(optimum, 1e-12))
+            row = [level, sum(optimal_costs) / len(optimal_costs)]
             for name in BASELINES:
-                cost = _baseline_cost(name, problem, seed=seed + index)
-                ratios[name].append(cost / max(optimum, 1e-12))
-        row = [level, sum(optimal_costs) / len(optimal_costs)]
-        for name in BASELINES:
-            mean_ratio = sum(ratios[name]) / len(ratios[name])
-            degradation[name].append(mean_ratio)
-            row.append(round(mean_ratio, 4))
-        table.add_row(*row)
+                mean_ratio = sum(ratios[name]) / len(ratios[name])
+                degradation[name].append(mean_ratio)
+                row.append(round(mean_ratio, 4))
+            table.add_row(*row)
+    finally:
+        if pool is not None:
+            pool.close()
 
     centralized = degradation["srivastava_centralized"]
     notes = [
@@ -96,6 +112,7 @@ def run_e4_plan_quality(
             "levels": list(levels),
             "instances_per_level": instances_per_level,
             "seed": seed,
+            "workers": workers,
         },
         notes=notes,
     )

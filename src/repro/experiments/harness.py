@@ -3,19 +3,54 @@
 Every experiment (E1–E8, see ``DESIGN.md``) is a function returning an
 :class:`ExperimentResult`: a table of rows (what a paper table/figure would
 plot), free-form notes, and the parameters that produced it.  The harness
-provides the result container, a registry, and markdown rendering used to
-regenerate ``EXPERIMENTS.md``.
+provides the result container, a registry, markdown rendering used to
+regenerate ``EXPERIMENTS.md``, and :func:`optimize_suite` — the bulk
+compilation entry point experiments use to solve whole instance suites,
+optionally on the parallel engine's worker pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
+from repro.core.optimizer import optimize
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult
 from repro.exceptions import ExperimentError
 from repro.utils.tables import Table
 
-__all__ = ["ExperimentResult", "Experiment", "ExperimentRegistry"]
+__all__ = ["ExperimentResult", "Experiment", "ExperimentRegistry", "optimize_suite"]
+
+
+def optimize_suite(
+    problems: Sequence[OrderingProblem],
+    algorithm: str = "branch_and_bound",
+    workers: int | None = None,
+    pool: "object | None" = None,
+    **options: object,
+) -> list[OptimizationResult]:
+    """Optimize every problem of a suite with one algorithm, preserving order.
+
+    With ``workers`` unset (or 1) the suite is compiled sequentially in
+    process — fully deterministic, no setup cost, the right default for the
+    small suites of the reconstructed experiments.  With ``workers > 1`` the
+    suite is handed to the parallel engine's
+    :class:`~repro.parallel.pool.OptimizerPool`, which fans the problems out
+    over worker processes (deduplicating structural twins); the results are
+    identical either way, the wire codec being lossless.  Callers compiling
+    several suites should create one pool and pass it via ``pool`` — worker
+    startup is paid once and the workers' warm evaluator caches survive
+    across calls.
+    """
+    if pool is not None:
+        return pool.optimize_many(problems, algorithm=algorithm, options=options)  # type: ignore[attr-defined]
+    if workers is not None and workers > 1:
+        from repro.parallel import OptimizerPool
+
+        with OptimizerPool(workers=workers) as shared:
+            return shared.optimize_many(problems, algorithm=algorithm, options=options)
+    return [optimize(problem, algorithm=algorithm, **options) for problem in problems]
 
 
 @dataclass

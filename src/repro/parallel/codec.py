@@ -1,0 +1,93 @@
+"""Wire codecs of the parallel execution engine.
+
+Problems, tasks and results cross process boundaries as nested tuples of
+primitives — never as pickled object graphs.  The problem side lives in
+:mod:`repro.serialization` (:func:`~repro.serialization.problem_to_wire` /
+:func:`~repro.serialization.problem_from_wire`); this module adds the result
+direction: an :class:`~repro.core.result.OptimizationResult` collapses into
+``(order, algorithm, optimal, statistics)`` and is re-attached to whichever
+equivalent problem instance the *parent* process holds.  That re-attachment
+is safe because the wire problem codec is lossless: the worker's and the
+parent's cost arithmetic agree bit for bit, which
+:meth:`~repro.core.result.OptimizationResult.__post_init__`'s consistency
+check re-asserts on every decode.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult, SearchStatistics
+from repro.exceptions import ParallelError
+
+__all__ = [
+    "result_to_wire",
+    "result_from_wire",
+    "statistics_to_wire",
+    "statistics_from_wire",
+]
+
+RESULT_WIRE_VERSION = 1
+"""Version tag leading every wire payload produced by :func:`result_to_wire`."""
+
+
+def statistics_to_wire(statistics: SearchStatistics) -> tuple:
+    """Collapse a :class:`SearchStatistics` record into a flat tuple."""
+    return (
+        statistics.nodes_expanded,
+        statistics.plans_evaluated,
+        statistics.pruned_by_bound,
+        statistics.lemma2_closures,
+        statistics.lemma3_prunes,
+        statistics.incumbent_updates,
+        statistics.elapsed_seconds,
+        tuple(sorted(statistics.extra.items())),
+    )
+
+
+def statistics_from_wire(payload: tuple) -> SearchStatistics:
+    """Rebuild a :class:`SearchStatistics` record from its wire tuple."""
+    try:
+        (nodes, plans, pruned, lemma2, lemma3, incumbents, elapsed, extra) = payload
+    except (TypeError, ValueError):
+        raise ParallelError(f"malformed statistics payload: {payload!r}") from None
+    return SearchStatistics(
+        nodes_expanded=nodes,
+        plans_evaluated=plans,
+        pruned_by_bound=pruned,
+        lemma2_closures=lemma2,
+        lemma3_prunes=lemma3,
+        incumbent_updates=incumbents,
+        elapsed_seconds=elapsed,
+        extra=dict(extra),
+    )
+
+
+def result_to_wire(result: OptimizationResult) -> tuple:
+    """Encode an optimization result for the wire (plan as bare indices)."""
+    return (
+        RESULT_WIRE_VERSION,
+        result.order,
+        result.algorithm,
+        result.optimal,
+        statistics_to_wire(result.statistics),
+    )
+
+
+def result_from_wire(payload: tuple, problem: OrderingProblem) -> OptimizationResult:
+    """Re-attach a wire result to ``problem`` (the parent-side instance).
+
+    The plan is rebuilt — and therefore re-validated — against ``problem``,
+    and its cost recomputed with the parent's arithmetic; the codec being
+    lossless makes that cost identical to the one the worker saw.
+    """
+    if not isinstance(payload, tuple) or not payload or payload[0] != RESULT_WIRE_VERSION:
+        raise ParallelError(f"unsupported result wire payload: {payload!r}")
+    _, order, algorithm, optimal, statistics = payload
+    plan = problem.plan(order)
+    return OptimizationResult(
+        plan=plan,
+        cost=plan.cost,
+        algorithm=algorithm,
+        optimal=optimal,
+        statistics=statistics_from_wire(statistics),
+    )

@@ -1,0 +1,269 @@
+"""A persistent multiprocessing worker pool for bulk plan compilation.
+
+:class:`OptimizerPool` keeps ``workers`` long-lived OS processes around and
+feeds them optimization tasks over queues.  Problems travel as the compact
+array payloads of :func:`repro.serialization.problem_to_wire`; results come
+back as the bare-index tuples of :mod:`repro.parallel.codec`.  Two properties
+make the pool a genuine batch-throughput engine rather than a thin
+``multiprocessing.Pool`` wrapper:
+
+* **Warm per-problem evaluator caches** — every worker keeps a bounded
+  payload-keyed cache of decoded :class:`~repro.core.problem.OrderingProblem`
+  instances.  Since a problem's evaluation kernel
+  (:meth:`~repro.core.problem.OrderingProblem.evaluator`) is cached on the
+  instance, a worker that sees the same problem again (repeated traffic, or
+  several algorithms racing over one instance) skips both the decode and the
+  kernel construction.
+* **Batch single-flight** — :meth:`OptimizerPool.optimize_many` deduplicates
+  structurally *identical* payloads inside one batch: each unique problem is
+  optimized once and the result fanned back out to every duplicate position.
+  A serving trace where the same query arrives many times compiles in
+  ``O(unique)`` optimizations instead of ``O(requests)``.
+
+Workers are real processes, so the pool sidesteps the GIL on multi-core
+machines — and, unlike threads, its members can be killed: the deadline race
+in :mod:`repro.parallel.race` builds on the same worker entry point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import threading
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult
+from repro.exceptions import OptimizationError, ParallelError, ReproError
+from repro.parallel.codec import result_from_wire, result_to_wire
+from repro.serialization import problem_from_wire, problem_to_wire
+
+__all__ = ["OptimizerPool", "optimize_many", "preferred_context", "default_worker_count"]
+
+_SHUTDOWN = None
+"""Sentinel a worker interprets as 'drain and exit'."""
+
+_RESULT_POLL_SECONDS = 0.25
+"""How often the parent wakes up while waiting on results to check worker health."""
+
+
+def preferred_context() -> multiprocessing.context.BaseContext:
+    """The cheapest available multiprocessing context (fork where supported)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def default_worker_count() -> int:
+    """Default pool size: one worker per visible CPU, at least one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _decode_cached(
+    payload: tuple, cache: "OrderedDict[tuple, OrderingProblem]", capacity: int
+) -> tuple[OrderingProblem, bool]:
+    """Decode ``payload``, serving repeats from the worker's warm LRU cache."""
+    problem = cache.get(payload)
+    if problem is not None:
+        cache.move_to_end(payload)
+        return problem, True
+    problem = problem_from_wire(payload)
+    problem.evaluator()  # build the kernel once, while the problem is cold
+    cache[payload] = problem
+    while len(cache) > capacity:
+        cache.popitem(last=False)
+    return problem, False
+
+
+def _worker_main(tasks, results, warm_cache_size: int) -> None:
+    """Worker process entry point: loop over tasks until the shutdown sentinel."""
+    from repro.core.optimizer import optimize  # after fork/spawn, in the child
+
+    cache: "OrderedDict[tuple, OrderingProblem]" = OrderedDict()
+    while True:
+        task = tasks.get()
+        if task is _SHUTDOWN or task is None:
+            break
+        task_id, payload, algorithm, options = task
+        try:
+            problem, warm = _decode_cached(payload, cache, warm_cache_size)
+            result = optimize(problem, algorithm=algorithm, **dict(options))
+        except ReproError as error:
+            results.put((task_id, False, f"{type(error).__name__}: {error}", False))
+        except TypeError as error:
+            results.put((task_id, False, f"{algorithm} rejected the options: {error}", False))
+        else:
+            results.put((task_id, True, result_to_wire(result), warm))
+
+
+class OptimizerPool:
+    """A persistent pool of optimizer worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (default: one per visible CPU).
+    warm_cache_size:
+        Problems each worker keeps decoded (with a built evaluation kernel).
+    context:
+        Multiprocessing context; defaults to ``fork`` where available.
+
+    The pool is thread-safe: one internal lock serialises batch submissions,
+    which is the contract the single-flighted serving layer needs.  Use it as
+    a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        warm_cache_size: int = 64,
+        context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ParallelError(f"workers must be at least 1, got {workers!r}")
+        if warm_cache_size < 1:
+            raise ParallelError(f"warm_cache_size must be at least 1, got {warm_cache_size!r}")
+        self.workers = workers if workers is not None else default_worker_count()
+        self._context = context if context is not None else preferred_context()
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        self._processes = [
+            self._context.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results, warm_cache_size),
+                daemon=True,
+                name=f"optimizer-pool-{index}",
+            )
+            for index in range(self.workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._task_ids = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._tasks_submitted = 0
+        self._warm_hits = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Shut the workers down (idempotent); stragglers are terminated."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._processes:
+            self._tasks.put(_SHUTDOWN)
+        for process in self._processes:
+            process.join(timeout=timeout)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=timeout)
+        self._tasks.close()
+        self._results.close()
+
+    def __enter__(self) -> "OptimizerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- bulk optimization -------------------------------------------------
+
+    def optimize_many(
+        self,
+        problems: Sequence[OrderingProblem],
+        algorithm: str = "branch_and_bound",
+        options: Mapping[str, object] | None = None,
+        dedup: bool = True,
+    ) -> list[OptimizationResult]:
+        """Optimize every problem of ``problems``, preserving order.
+
+        With ``dedup`` (the default), structurally identical problems — equal
+        wire payloads — are optimized once per batch and the result shared by
+        all duplicates (each re-attached to its own problem instance).  Raises
+        :class:`~repro.exceptions.OptimizationError` if any member fails and
+        :class:`~repro.exceptions.ParallelError` if a worker process dies.
+        """
+        if not problems:
+            return []
+        options = dict(options or {})
+        with self._lock:
+            if self._closed:
+                raise ParallelError("the optimizer pool has been closed")
+            payloads = [problem_to_wire(problem) for problem in problems]
+            first_position: dict[tuple, int] = {}
+            unique_positions: list[int] = []
+            for position, payload in enumerate(payloads):
+                if not dedup or payload not in first_position:
+                    first_position[payload] = position
+                    unique_positions.append(position)
+            task_of_position = {}
+            for position in unique_positions:
+                task_id = next(self._task_ids)
+                task_of_position[task_id] = position
+                self._tasks.put((task_id, payloads[position], algorithm, tuple(options.items())))
+            self._tasks_submitted += len(unique_positions)
+
+            wires: dict[int, tuple] = {}
+            errors: dict[int, str] = {}
+            while len(wires) + len(errors) < len(unique_positions):
+                try:
+                    task_id, ok, payload, warm = self._results.get(timeout=_RESULT_POLL_SECONDS)
+                except queue.Empty:
+                    self._check_workers()
+                    continue
+                position = task_of_position.get(task_id)
+                if position is None:
+                    # A straggler from a batch that aborted (e.g. on a worker
+                    # death) — the surviving workers' in-flight answers drain
+                    # here and must not be attributed to this batch.
+                    continue
+                if ok:
+                    wires[position] = payload
+                    if warm:
+                        self._warm_hits += 1
+                else:
+                    errors[position] = payload
+
+        if errors:
+            position, message = min(errors.items())
+            problem = problems[position]
+            raise OptimizationError(
+                f"optimize_many failed on problem {position}"
+                f"{f' ({problem.name!r})' if problem.name else ''}: {message}"
+            )
+        results = []
+        for position, problem in enumerate(problems):
+            source = first_position[payloads[position]] if dedup else position
+            results.append(result_from_wire(wires[source], problem))
+        return results
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Counters: tasks actually submitted to workers, and their warm-cache hits."""
+        with self._lock:
+            return {"tasks_submitted": self._tasks_submitted, "warm_hits": self._warm_hits}
+
+    def _check_workers(self) -> None:
+        dead = [process.name for process in self._processes if not process.is_alive()]
+        if dead:
+            raise ParallelError(
+                f"worker process(es) {', '.join(dead)} died with tasks outstanding"
+            )
+
+
+def optimize_many(
+    problems: Sequence[OrderingProblem],
+    algorithm: str = "branch_and_bound",
+    workers: int | None = None,
+    options: Mapping[str, object] | None = None,
+    dedup: bool = True,
+) -> list[OptimizationResult]:
+    """One-shot convenience wrapper around :class:`OptimizerPool`."""
+    with OptimizerPool(workers=workers) as pool:
+        return pool.optimize_many(problems, algorithm=algorithm, options=options, dedup=dedup)

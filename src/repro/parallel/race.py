@@ -1,0 +1,176 @@
+"""Process-backed portfolio racing with hard cancellation.
+
+The thread-backed portfolio (:mod:`repro.serving.portfolio`) has one
+structural limitation it documents itself: Python threads cannot be killed,
+so a member still running at the deadline keeps its worker busy until it
+finishes on its own.  Exact solvers — exhaustive enumeration, deep
+branch-and-bound — are precisely the members that straggle, which is why the
+default ladder had to treat them with care.
+
+This module removes the limitation by racing every non-seed member in its own
+OS *process*: at the deadline, stragglers are :meth:`~multiprocessing.Process.terminate`-d
+and reaped, so an over-budget exact member costs exactly the budget, never
+more.  Members are started through :func:`repro.parallel.pool.preferred_context`
+(``fork`` where available — member startup must stay cheap relative to
+sub-second budgets); forking from a heavily multi-threaded parent carries the
+usual CPython caveat about locks held by other threads at fork time, so a
+service that prefers safety over startup latency can pass a ``forkserver``
+context through its own plumbing (see ROADMAP open items).  The seed member still runs synchronously in the parent (the anytime
+guarantee does not survive a process failure), and the returned
+:class:`~repro.serving.portfolio.PortfolioResult` is indistinguishable from
+the thread backend's — same best-result semantics, same error and timeout
+accounting — so callers switch backends through
+:attr:`~repro.serving.portfolio.PortfolioOptions.backend` alone.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import TYPE_CHECKING
+
+from repro.core.optimizer import optimize
+from repro.core.problem import OrderingProblem
+from repro.core.result import OptimizationResult
+from repro.exceptions import OptimizationError, ReproError
+from repro.parallel.codec import result_from_wire, result_to_wire
+from repro.parallel.pool import preferred_context
+from repro.serialization import problem_from_wire, problem_to_wire
+from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.portfolio import PortfolioOptions, PortfolioResult
+
+__all__ = ["race_processes"]
+
+_JOIN_GRACE_SECONDS = 1.0
+"""How long a terminated member may take to be reaped before it is abandoned."""
+
+_LIVENESS_POLL_SECONDS = 0.25
+"""How often the parent wakes while waiting on results to notice dead members."""
+
+
+def _race_member_main(payload, name, options, results) -> None:
+    """Child entry point: run one portfolio member and report over the queue."""
+    try:
+        problem = problem_from_wire(payload)
+        result = optimize(problem, algorithm=name, **dict(options))
+    except ReproError as error:
+        results.put((name, False, str(error)))
+    except TypeError as error:
+        results.put((name, False, f"{name} rejected the options: {error}"))
+    else:
+        results.put((name, True, result_to_wire(result)))
+
+
+def race_processes(
+    problem: OrderingProblem,
+    options: "PortfolioOptions",
+    budget_seconds: float | None,
+) -> "PortfolioResult":
+    """Race ``options.algorithms`` on ``problem`` with process-level cancellation.
+
+    The first algorithm is the synchronous anytime seed; the rest race in
+    dedicated processes until ``budget_seconds`` expires (``None`` waits for
+    all), at which point still-running members are *terminated* — not merely
+    abandoned — and reported in
+    :attr:`~repro.serving.portfolio.PortfolioResult.timed_out`.
+    """
+    from repro.serving.portfolio import PortfolioResult
+
+    stopwatch = Stopwatch().start()
+    payload = problem_to_wire(problem)
+    context = preferred_context()
+    result_queue = context.Queue()
+
+    seed_name = options.algorithms[0]
+    results: dict[str, OptimizationResult] = {}
+    errors: dict[str, str] = {}
+    try:
+        results[seed_name] = optimize(
+            problem, algorithm=seed_name, **dict(options.algorithm_options.get(seed_name, {}))
+        )
+    except ReproError as error:
+        errors[seed_name] = str(error)
+    except TypeError as error:
+        errors[seed_name] = f"{seed_name} rejected the options: {error}"
+
+    racing = options.algorithms[1:]
+    members = {}
+    for name in racing:
+        member_options = tuple(dict(options.algorithm_options.get(name, {})).items())
+        process = context.Process(
+            target=_race_member_main,
+            args=(payload, name, member_options, result_queue),
+            daemon=True,
+            name=f"race-{name}",
+        )
+        process.start()
+        members[name] = process
+
+    outstanding = set(members)
+    while outstanding:
+        if budget_seconds is None:
+            timeout = _LIVENESS_POLL_SECONDS
+        else:
+            timeout = budget_seconds - stopwatch.elapsed
+            if timeout <= 0:
+                break
+            timeout = min(timeout, _LIVENESS_POLL_SECONDS)
+        try:
+            name, ok, payload_or_error = result_queue.get(timeout=timeout)
+        except queue.Empty:
+            # A member that died without reporting (OOM kill, hard crash)
+            # must not be waited on — especially with no budget, where the
+            # queue would otherwise be watched forever.  A dead member
+            # flushed any answer it did produce before exiting, so drain
+            # once more non-blocking before declaring it lost.
+            dead = [n for n in outstanding if not members[n].is_alive()]
+            if dead:
+                try:
+                    while True:
+                        name, ok, payload_or_error = result_queue.get_nowait()
+                        outstanding.discard(name)
+                        if ok:
+                            results[name] = result_from_wire(payload_or_error, problem)
+                        else:
+                            errors[name] = payload_or_error
+                except queue.Empty:
+                    pass
+                for name in [n for n in dead if n in outstanding]:
+                    outstanding.discard(name)
+                    errors[name] = (
+                        f"member process died without reporting "
+                        f"(exit code {members[name].exitcode})"
+                    )
+            if budget_seconds is not None and stopwatch.elapsed >= budget_seconds:
+                break
+            continue
+        outstanding.discard(name)
+        if ok:
+            results[name] = result_from_wire(payload_or_error, problem)
+        else:
+            errors[name] = payload_or_error
+
+    timed_out = []
+    for name in outstanding:
+        process = members[name]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=_JOIN_GRACE_SECONDS)
+        timed_out.append(name)
+    result_queue.close()
+    result_queue.cancel_join_thread()
+
+    if not results:
+        raise OptimizationError(
+            f"no portfolio member produced a plan within the budget "
+            f"(errors: {errors!r}, timed out: {timed_out!r})"
+        )
+    best = min(results.values(), key=lambda result: (result.cost, not result.optimal))
+    return PortfolioResult(
+        best=best,
+        results=results,
+        errors=errors,
+        timed_out=tuple(sorted(timed_out)),
+        elapsed_seconds=stopwatch.stop(),
+    )

@@ -35,8 +35,11 @@ from repro.exceptions import InvalidProblemError
 __all__ = [
     "PROBLEM_FORMAT",
     "PROBLEM_FORMAT_VERSION",
+    "PROBLEM_WIRE_VERSION",
     "problem_to_dict",
     "problem_from_dict",
+    "problem_to_wire",
+    "problem_from_wire",
     "save_problem",
     "load_problem",
     "plan_to_dict",
@@ -128,6 +131,87 @@ def problem_from_dict(document: dict[str, Any]) -> OrderingProblem:
         precedence=precedence,
         sink_transfer=document.get("sink_transfer"),
         name=document.get("name", ""),
+    )
+
+
+PROBLEM_WIRE_VERSION = 1
+"""Version tag leading every wire payload produced by :func:`problem_to_wire`."""
+
+
+def problem_to_wire(problem: OrderingProblem) -> tuple:
+    """Encode ``problem`` as a compact, hashable tuple of flat arrays.
+
+    This is the codec the parallel execution engine (:mod:`repro.parallel`)
+    ships across process boundaries: everything is a nested tuple of
+    primitives — costs, selectivities, transfer rows, sink transfers, and the
+    precedence constraints collapsed into per-service predecessor *bitmasks* —
+    so pickling never walks the :class:`OrderingProblem` object graph
+    (services, matrices, cached evaluation kernel).  The payload is hashable,
+    which is what lets worker processes key their warm per-problem evaluator
+    caches on it directly.
+
+    Round trip: :func:`problem_from_wire` rebuilds a problem whose parameters
+    are bitwise identical to the original's (no quantization is applied), so
+    costs computed on either side of the boundary agree exactly.
+    """
+    precedence = problem.precedence
+    if precedence is not None and precedence.has_constraints:
+        masks = [0] * problem.size
+        for before, after in precedence.edges():
+            masks[after] |= 1 << before
+        predecessor_masks: tuple[int, ...] | None = tuple(masks)
+    else:
+        predecessor_masks = None
+    sink = problem.sink_transfer
+    return (
+        PROBLEM_WIRE_VERSION,
+        problem.name,
+        tuple(service.name for service in problem.services),
+        problem.costs,
+        problem.selectivities,
+        tuple(problem.transfer.row(i) for i in range(problem.size)),
+        predecessor_masks,
+        tuple(sink) if sink is not None else None,
+        tuple(service.host for service in problem.services),
+        tuple(service.threads for service in problem.services),
+    )
+
+
+def problem_from_wire(payload: tuple) -> OrderingProblem:
+    """Rebuild an :class:`OrderingProblem` from a :func:`problem_to_wire` payload."""
+    if not isinstance(payload, tuple) or not payload:
+        raise InvalidProblemError(f"malformed wire payload: {type(payload).__name__}")
+    if payload[0] != PROBLEM_WIRE_VERSION:
+        raise InvalidProblemError(f"unsupported problem wire version {payload[0]!r}")
+    try:
+        (_, name, names, costs, selectivities, rows, predecessor_masks, sink, hosts, threads) = (
+            payload
+        )
+    except ValueError:
+        raise InvalidProblemError(
+            f"problem wire payload has {len(payload)} fields, expected 10"
+        ) from None
+    services = [
+        Service(
+            name=names[i], cost=costs[i], selectivity=selectivities[i], host=hosts[i],
+            threads=threads[i],
+        )
+        for i in range(len(names))
+    ]
+    precedence = None
+    if predecessor_masks is not None:
+        precedence = PrecedenceGraph(len(services))
+        for after, mask in enumerate(predecessor_masks):
+            while mask:
+                bit = mask & -mask
+                precedence.add(bit.bit_length() - 1, after)
+                mask ^= bit
+    return OrderingProblem(
+        services,
+        CommunicationCostMatrix([list(row) for row in rows]),
+        precedence=precedence,
+        sink_transfer=sink,
+        name=name,
     )
 
 

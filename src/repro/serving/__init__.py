@@ -9,8 +9,9 @@ becomes a long-running service here:
   stale-while-revalidate and drift-based refresh,
 * :mod:`repro.serving.portfolio` — deadline-budgeted races over the algorithm
   registry (greedy anytime seed, refined by beam search / branch-and-bound),
+  on threads or on hard-cancellable processes (:mod:`repro.parallel`),
 * :mod:`repro.serving.service` — the :class:`PlanService` façade with
-  admission control,
+  admission control, single-flight miss coalescing and batch optimization,
 * :mod:`repro.serving.metrics` — per-request latency and quality metrics,
 * :mod:`repro.serving.http` — a stdlib ``ThreadingHTTPServer`` JSON endpoint.
 
@@ -27,7 +28,7 @@ Quickstart
 True
 """
 
-from repro.serving.cache import CachedPlan, CacheLookup, CacheStats, PlanCache
+from repro.serving.cache import CachedPlan, CacheLookup, CacheStats, PlanCache, SingleFlight
 from repro.serving.fingerprint import (
     DEFAULT_PRECISION,
     ProblemFingerprint,
@@ -38,6 +39,7 @@ from repro.serving.http import PlanServer, response_to_dict, serve
 from repro.serving.metrics import LatencySummary, ServingMetrics
 from repro.serving.portfolio import (
     DEFAULT_PORTFOLIO,
+    PORTFOLIO_BACKENDS,
     PortfolioOptimizer,
     PortfolioOptions,
     PortfolioResult,
@@ -48,6 +50,7 @@ from repro.serving.service import PlanResponse, PlanService, PlanServiceConfig
 __all__ = [
     "DEFAULT_PORTFOLIO",
     "DEFAULT_PRECISION",
+    "PORTFOLIO_BACKENDS",
     "CacheLookup",
     "CacheStats",
     "CachedPlan",
@@ -62,6 +65,7 @@ __all__ = [
     "PortfolioResult",
     "ProblemFingerprint",
     "ServingMetrics",
+    "SingleFlight",
     "fingerprint_problem",
     "quantize",
     "response_to_dict",

@@ -36,7 +36,7 @@ from repro.estimation.adaptive import compute_drift
 from repro.exceptions import EstimationError, ServingError
 from repro.serving.fingerprint import ProblemFingerprint
 
-__all__ = ["CacheStats", "CachedPlan", "CacheLookup", "PlanCache"]
+__all__ = ["CacheStats", "CachedPlan", "CacheLookup", "PlanCache", "SingleFlight"]
 
 
 @dataclass
@@ -130,6 +130,82 @@ class CacheLookup:
     def hit(self) -> bool:
         """Whether a usable entry (fresh or stale) was found."""
         return self.entry is not None
+
+
+class _InFlightCall:
+    """Bookkeeping of one in-flight single-flighted computation."""
+
+    __slots__ = ("done", "result", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: object | None = None
+        self.error: str | None = None
+        self.waiters = 0
+
+
+class SingleFlight:
+    """Per-key call coalescing (the classic *single-flight* primitive).
+
+    When several threads miss the cache on the same fingerprint at once, only
+    the first — the *leader* — actually runs the expensive computation;
+    followers block until the leader finishes and share its outcome.  This is
+    the thundering-herd fix: N concurrent misses on one key cost one
+    optimization, not N.
+
+    The value shared through a flight must be *instance-independent* (the plan
+    service shares canonical cache positions, never a plan bound to the
+    leader's problem object).  A leader failure is propagated to every
+    follower as a :class:`~repro.exceptions.ServingError` carrying the
+    leader's message; the flight is always cleared, so the next request
+    retries fresh.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[str, _InFlightCall] = {}
+
+    def do(self, key: str, compute: Callable[[], object]) -> tuple[object, bool]:
+        """Run ``compute`` once per concurrent burst of callers of ``key``.
+
+        Returns ``(value, leader)``; ``leader`` tells the caller whether it
+        executed ``compute`` itself (counted as a cold optimization) or rode
+        along on another thread's flight (a coalesced request).
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            leader = call is None
+            if leader:
+                call = _InFlightCall()
+                self._calls[key] = call
+            else:
+                call.waiters += 1
+        if leader:
+            try:
+                call.result = compute()
+            except BaseException as error:
+                call.error = f"{type(error).__name__}: {error}"
+                raise
+            finally:
+                with self._lock:
+                    self._calls.pop(key, None)
+                call.done.set()
+            return call.result, True
+        call.done.wait()
+        if call.error is not None:
+            raise ServingError(f"coalesced optimization failed: {call.error}")
+        return call.result, False
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed (for stats/tests)."""
+        with self._lock:
+            return len(self._calls)
+
+    def waiting(self, key: str) -> int:
+        """Number of followers currently riding on ``key``'s flight."""
+        with self._lock:
+            call = self._calls.get(key)
+            return call.waiters if call is not None else 0
 
 
 @dataclass

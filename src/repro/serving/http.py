@@ -8,6 +8,11 @@ third-party dependency:
   :mod:`repro.serialization` format (optionally wrapped as
   ``{"problem": {...}, "budget_seconds": 0.2}``); answers with the plan,
   its cost and the cache/latency metadata of :class:`PlanResponse`.
+* ``POST /plan/batch`` — body is ``{"problems": [{...}, ...]}`` (optionally
+  with ``"budget_seconds"``); the whole batch is answered through
+  :meth:`~repro.serving.service.PlanService.optimize_batch` — one admission,
+  cache hits served directly, misses deduplicated by fingerprint — and the
+  reply is ``{"responses": [...]}`` in request order.
 * ``GET /stats`` — the service's :meth:`~repro.serving.service.PlanService.stats`
   snapshot.
 * ``GET /healthz`` — liveness probe.
@@ -44,7 +49,18 @@ def response_to_dict(response: PlanResponse) -> dict[str, Any]:
         "stale": response.stale,
         "fingerprint": response.fingerprint,
         "latency_seconds": response.latency_seconds,
+        "coalesced": response.coalesced,
     }
+
+
+def _validated_budget(document: dict[str, Any]) -> float | None:
+    """The request's ``budget_seconds``, rejected with :class:`ValueError` unless numeric."""
+    budget = document.get("budget_seconds")
+    if budget is not None and not isinstance(budget, (int, float)):
+        raise ValueError(
+            f"budget_seconds must be a number, got {type(budget).__name__}"
+        )
+    return budget
 
 
 class _PlanRequestHandler(BaseHTTPRequestHandler):
@@ -65,7 +81,7 @@ class _PlanRequestHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Accept one plan request."""
+        """Accept one plan request, or a whole batch."""
         try:
             # Read the body before routing: on a keep-alive connection an
             # unread body would be parsed as the next request line.
@@ -73,13 +89,16 @@ class _PlanRequestHandler(BaseHTTPRequestHandler):
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
             return
+        if self.path == "/plan/batch":
+            self._answer_batch(document)
+            return
         if self.path != "/plan":
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
         try:
             if "problem" in document:
                 problem_document = document["problem"]
-                budget = document.get("budget_seconds")
+                budget = _validated_budget(document)
             else:
                 problem_document = document
                 budget = None
@@ -96,6 +115,29 @@ class _PlanRequestHandler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": str(error)})
             return
         self._send_json(200, response_to_dict(response))
+
+    def _answer_batch(self, document: dict[str, Any]) -> None:
+        """Handle ``POST /plan/batch``."""
+        try:
+            problem_documents = document["problems"]
+            if not isinstance(problem_documents, list) or not problem_documents:
+                raise InvalidProblemError("'problems' must be a non-empty list")
+            budget = _validated_budget(document)
+            problems = [problem_from_dict(entry) for entry in problem_documents]
+        except (KeyError, TypeError, ValueError, InvalidProblemError) as error:
+            self._send_json(400, {"error": f"malformed batch request: {error}"})
+            return
+        try:
+            responses = self.server.plan_service.optimize_batch(problems, budget_seconds=budget)
+        except AdmissionError as error:
+            self._send_json(503, {"error": str(error)})
+            return
+        except ReproError as error:
+            self._send_json(500, {"error": str(error)})
+            return
+        self._send_json(
+            200, {"responses": [response_to_dict(response) for response in responses]}
+        )
 
     # -- plumbing ----------------------------------------------------------
 

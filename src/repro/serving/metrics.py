@@ -7,12 +7,21 @@ cost, and whether it carries an optimality guarantee).  Latencies are kept in
 a bounded reservoir so a long-running service's memory stays flat while the
 quantiles remain meaningful.
 
+Snapshots are cheap: each reservoir maintains a cached sorted copy that is
+(re)built at most once per snapshot cycle — repeated :meth:`ServingMetrics.snapshot`
+calls between observations reuse it instead of re-sorting thousands of
+samples on a hot stats endpoint.  Quantiles use the *nearest-rank* rule
+(the smallest sample with at least ``q·n`` samples at or below it), applied
+uniformly to every quantile, so p95/p99 of small populations land on the
+sample the rank definition names instead of drifting with truncation.
+
 Everything is guarded by one lock; observations are a few appends, so the
 lock is never held across optimization work.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
 
@@ -35,17 +44,23 @@ class LatencySummary:
     @staticmethod
     def of(samples: list[float]) -> "LatencySummary":
         """Summarise ``samples`` (empty populations yield all-zero summaries)."""
-        if not samples:
+        return LatencySummary.from_sorted(sorted(samples))
+
+    @staticmethod
+    def from_sorted(ordered: list[float]) -> "LatencySummary":
+        """Summarise an already-sorted population without copying or re-sorting."""
+        if not ordered:
             return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
-        ordered = sorted(samples)
+        count = len(ordered)
 
         def quantile(fraction: float) -> float:
-            position = min(int(fraction * len(ordered)), len(ordered) - 1)
-            return ordered[position]
+            # Nearest-rank: the smallest sample with at least fraction*count
+            # samples <= it, i.e. the ceil(fraction*count)-th order statistic.
+            return ordered[min(max(math.ceil(fraction * count) - 1, 0), count - 1)]
 
         return LatencySummary(
-            count=len(ordered),
-            mean=sum(ordered) / len(ordered),
+            count=count,
+            mean=sum(ordered) / count,
             p50=quantile(0.50),
             p95=quantile(0.95),
             p99=quantile(0.99),
@@ -76,9 +91,13 @@ class ServingMetrics:
         self._lock = threading.Lock()
         self._reservoir_size = reservoir_size
         self._latencies: dict[str, list[float]] = {source: [] for source in self.SOURCES}
+        # Cached sorted copy per reservoir; None marks it dirty.  Sorting
+        # happens at most once per snapshot cycle, not once per snapshot call.
+        self._sorted: dict[str, list[float] | None] = {source: None for source in self.SOURCES}
         self._observation_counts: dict[str, int] = {source: 0 for source in self.SOURCES}
         self._rejected = 0
         self._failed = 0
+        self._coalesced = 0
         self._optimal_answers = 0
         self._cost_total = 0.0
 
@@ -98,6 +117,7 @@ class ServingMetrics:
                 )
             else:
                 reservoir.append(latency_seconds)
+            self._sorted[source] = None
             self._cost_total += cost
             if optimal:
                 self._optimal_answers += 1
@@ -111,6 +131,11 @@ class ServingMetrics:
         """Record a request that raised during optimization."""
         with self._lock:
             self._failed += 1
+
+    def record_coalesced(self) -> None:
+        """Record a request answered by riding along on another's optimization."""
+        with self._lock:
+            self._coalesced += 1
 
     # -- reporting ---------------------------------------------------------
 
@@ -132,12 +157,18 @@ class ServingMetrics:
         with self._lock:
             return self._failed
 
+    @property
+    def coalesced(self) -> int:
+        """Total requests deduplicated by single-flight/batch coalescing."""
+        with self._lock:
+            return self._coalesced
+
     def latency(self, source: str) -> LatencySummary:
         """Latency summary of one answer source ('hit', 'stale' or 'cold')."""
         if source not in self.SOURCES:
             raise ServingError(f"unknown answer source {source!r}; expected one of {self.SOURCES}")
         with self._lock:
-            return LatencySummary.of(list(self._latencies[source]))
+            return LatencySummary.from_sorted(self._sorted_reservoir(source))
 
     def snapshot(self) -> dict[str, object]:
         """One JSON-ready dictionary with every counter and latency summary."""
@@ -147,11 +178,23 @@ class ServingMetrics:
                 "answered": answered,
                 "rejected": self._rejected,
                 "failed": self._failed,
+                "coalesced": self._coalesced,
                 "by_source": dict(self._observation_counts),
                 "optimal_answers": self._optimal_answers,
                 "mean_plan_cost": self._cost_total / answered if answered else 0.0,
                 "latency": {
-                    source: LatencySummary.of(list(self._latencies[source])).as_dict()
+                    source: LatencySummary.from_sorted(self._sorted_reservoir(source)).as_dict()
                     for source in self.SOURCES
                 },
             }
+
+    def _sorted_reservoir(self, source: str) -> list[float]:
+        """The cached sorted reservoir of ``source`` (rebuilt only when dirty).
+
+        Callers must hold the lock; the returned list must not be mutated.
+        """
+        ordered = self._sorted[source]
+        if ordered is None:
+            ordered = sorted(self._latencies[source])
+            self._sorted[source] = ordered
+        return ordered

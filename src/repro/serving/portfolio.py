@@ -20,10 +20,21 @@ lazily building its own on first use.  Because the seed always completes, the po
 worse than the seed algorithm's; algorithms that error out (e.g. an exact
 solver refusing an over-size instance) are recorded, not fatal.
 
-Python threads cannot be killed: an algorithm still running at the deadline
-keeps its worker busy until it finishes on its own.  Sizing the executor with
-a few spare workers (the default) keeps one straggler from stalling the next
-request's race.
+The race runs on one of two interchangeable backends
+(:attr:`PortfolioOptions.backend`):
+
+* ``"threads"`` (default) — a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  Cheap per race, but
+  Python threads cannot be killed: an algorithm still running at the deadline
+  keeps its worker busy until it finishes on its own, so the executor is
+  sized with spare workers to keep one straggler from stalling the next
+  request's race.
+* ``"processes"`` — :func:`repro.parallel.race.race_processes`.  Every racing
+  member gets its own OS process and is *terminated* at the deadline, so even
+  a hopelessly over-budget exact solver (exhaustive enumeration on a large
+  instance) costs exactly the budget.  This is the backend that makes exact
+  members safe in the default ladder, at the price of per-race process
+  startup.
 """
 
 from __future__ import annotations
@@ -39,10 +50,19 @@ from repro.core.result import OptimizationResult
 from repro.exceptions import OptimizationError, ReproError, ServingError
 from repro.utils.timing import Stopwatch
 
-__all__ = ["PortfolioOptions", "PortfolioResult", "PortfolioOptimizer", "run_portfolio"]
+__all__ = [
+    "PORTFOLIO_BACKENDS",
+    "PortfolioOptions",
+    "PortfolioResult",
+    "PortfolioOptimizer",
+    "run_portfolio",
+]
 
 DEFAULT_PORTFOLIO = ("greedy_min_term", "beam_search", "branch_and_bound")
 """Default algorithm ladder: instant heuristic, polynomial refinement, exact."""
+
+PORTFOLIO_BACKENDS = ("threads", "processes")
+"""Supported racing backends (see the module docstring for the trade-off)."""
 
 
 @dataclass(frozen=True)
@@ -59,9 +79,18 @@ class PortfolioOptions:
     algorithm_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     """Per-algorithm keyword options, e.g. ``{"beam_search": {"beam_width": 8}}``."""
 
+    backend: str = "threads"
+    """Racing backend: ``"threads"`` (shared executor, stragglers run on) or
+    ``"processes"`` (dedicated processes, stragglers terminated at the
+    deadline)."""
+
     def __post_init__(self) -> None:
         if not self.algorithms:
             raise ServingError("a portfolio needs at least one algorithm")
+        if len(set(self.algorithms)) != len(self.algorithms):
+            # Duplicates buy nothing (same work twice) and the process
+            # backend tracks race members by name.
+            raise ServingError(f"portfolio members must be unique, got {self.algorithms!r}")
         unknown = [name for name in self.algorithms if name not in ALGORITHMS]
         if unknown:
             raise ServingError(
@@ -69,6 +98,11 @@ class PortfolioOptions:
             )
         if self.budget_seconds is not None and self.budget_seconds < 0:
             raise ServingError(f"budget_seconds must be non-negative, got {self.budget_seconds!r}")
+        if self.backend not in PORTFOLIO_BACKENDS:
+            raise ServingError(
+                f"unknown portfolio backend {self.backend!r}; "
+                f"available: {', '.join(PORTFOLIO_BACKENDS)}"
+            )
 
 
 @dataclass(frozen=True)
@@ -115,8 +149,14 @@ class PortfolioOptimizer:
         workers = max_workers if max_workers is not None else 2 * len(self.options.algorithms)
         if workers < 1:
             raise ServingError(f"max_workers must be at least 1, got {workers!r}")
-        self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="portfolio"
+        # The processes backend spawns per-race member processes instead
+        # (repro.parallel.race); it never touches a thread executor.
+        self._executor = (
+            concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="portfolio"
+            )
+            if self.options.backend == "threads"
+            else None
         )
         self._closed = threading.Event()
 
@@ -125,7 +165,8 @@ class PortfolioOptimizer:
     def close(self) -> None:
         """Shut the executor down without waiting for stragglers."""
         self._closed.set()
-        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "PortfolioOptimizer":
         return self
@@ -151,6 +192,12 @@ class PortfolioOptimizer:
         if budget is not None and budget < 0:
             raise ServingError(f"budget_seconds must be non-negative, got {budget!r}")
 
+        if options.backend == "processes":
+            from repro.parallel.race import race_processes
+
+            return race_processes(problem, options, budget)
+
+        assert self._executor is not None
         stopwatch = Stopwatch().start()
         # Build the shared evaluation kernel before any member runs: the racing
         # threads all reuse it, and the (idempotent) lazy construction happens

@@ -8,11 +8,23 @@ instances; the service answers each with a :class:`PlanResponse`, combining
   identical problems are answered without optimizing again, with
   stale-while-revalidate refresh when parameters drift,
 * the **optimizer portfolio** (:mod:`repro.serving.portfolio`) — cache misses
-  are optimized under the configured latency budget, and
+  are optimized under the configured latency budget, on the thread backend or
+  the process backend with hard deadline cancellation
+  (``portfolio_backend="processes"``),
+* **single-flight coalescing** (:class:`~repro.serving.cache.SingleFlight`) —
+  N concurrent misses on one fingerprint trigger exactly one optimization;
+  the N-1 followers wait for the leader's answer instead of stampeding the
+  portfolio (the classic thundering-herd fix), and
 * **admission control** — at most ``max_in_flight`` requests optimize
   concurrently, at most ``queue_depth`` more may wait; anything beyond is
   rejected with :class:`~repro.exceptions.AdmissionError` so overload degrades
   crisply instead of queueing unboundedly.
+
+Besides the one-at-a-time :meth:`PlanService.submit`, the service answers
+whole batches through :meth:`PlanService.optimize_batch`: the batch is
+admitted as one unit, answered from the cache where possible, and the misses
+are deduplicated by fingerprint so each unique problem is optimized once —
+the bulk-compilation mirror of the single-flight contract.
 
 Every answer is measured (:mod:`repro.serving.metrics`); :meth:`PlanService.stats`
 exposes the whole picture — cache counters, per-source latency quantiles,
@@ -29,7 +41,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.core.problem import OrderingProblem
 from repro.exceptions import AdmissionError, InvalidPlanError, ReproError, ServingError
-from repro.serving.cache import CacheLookup, PlanCache
+from repro.serving.cache import CacheLookup, PlanCache, SingleFlight
 from repro.serving.fingerprint import (
     DEFAULT_PRECISION,
     ProblemFingerprint,
@@ -76,6 +88,11 @@ class PlanServiceConfig:
 
     algorithm_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     """Per-algorithm options forwarded to the portfolio."""
+
+    portfolio_backend: str = "threads"
+    """Racing backend of the portfolio: ``"threads"`` or ``"processes"`` (the
+    latter terminates stragglers at the deadline, see
+    :mod:`repro.parallel.race`)."""
 
     max_in_flight: int = 8
     """Requests optimizing concurrently before new arrivals start queueing."""
@@ -133,6 +150,10 @@ class PlanResponse:
     latency_seconds: float
     """End-to-end service-side latency of this request."""
 
+    coalesced: bool = False
+    """Whether this answer rode along on another request's optimization
+    (single-flight follower, or batch duplicate of an optimized problem)."""
+
 
 class PlanService:
     """A long-running, cache-accelerated, admission-controlled plan server."""
@@ -150,9 +171,11 @@ class PlanService:
                 algorithms=self.config.algorithms,
                 budget_seconds=self.config.budget_seconds,
                 algorithm_options=dict(self.config.algorithm_options),
+                backend=self.config.portfolio_backend,
             ),
             max_workers=max(2 * len(self.config.algorithms), self.config.max_in_flight),
         )
+        self._single_flight = SingleFlight()
         self._slots = threading.Semaphore(self.config.max_in_flight)
         self._pending = 0
         self._pending_lock = threading.Lock()
@@ -205,6 +228,38 @@ class PlanService:
         """Answer several requests, preserving order (each admitted separately)."""
         return [self.submit(problem) for problem in problems]
 
+    def optimize_batch(
+        self, problems: Sequence[OrderingProblem], budget_seconds: float | None = None
+    ) -> list[PlanResponse]:
+        """Answer a whole batch of requests as one bulk-compilation unit.
+
+        Unlike :meth:`submit_batch` (N independent requests, N admissions),
+        the batch is admitted *once*, answered from the cache where possible,
+        and its misses are deduplicated by fingerprint: structurally identical
+        problems trigger one optimization whose answer every duplicate shares
+        (flagged ``coalesced``).  Misses also join the service-wide
+        single-flight, so a batch and concurrent :meth:`submit` calls on the
+        same fingerprint never optimize twice.  With the cache disabled every
+        member optimizes cold — fingerprint identity is quantized, and
+        ``cache_enabled=False`` is exactly the opt-out from
+        fingerprint-approximate answers (matching :meth:`submit`).  Raises on
+        the first failing optimization; order is preserved.
+        """
+        if self._closed.is_set():
+            raise ServingError("the plan service has been closed")
+        if not problems:
+            return []
+        self._admit()
+        try:
+            self._slots.acquire()
+            try:
+                return self._answer_batch(problems, budget_seconds)
+            finally:
+                self._slots.release()
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
     def warm(self, problems: Iterable[OrderingProblem]) -> int:
         """Pre-populate the cache (bypasses admission control); returns the count."""
         warmed = 0
@@ -228,6 +283,7 @@ class PlanService:
             "portfolio": {
                 "algorithms": list(self.config.algorithms),
                 "budget_seconds": self.config.budget_seconds,
+                "backend": self.config.portfolio_backend,
             },
         }
 
@@ -248,63 +304,168 @@ class PlanService:
     def _answer(self, problem: OrderingProblem, budget_seconds: float | None) -> PlanResponse:
         stopwatch = Stopwatch().start()
         fingerprint = fingerprint_problem(problem, self.config.fingerprint_precision)
-        lookup = (
-            self.cache.get(fingerprint)
-            if self.config.cache_enabled
-            else CacheLookup(entry=None)
-        )
-        if lookup.entry is not None:
-            entry = lookup.entry
-            try:
-                order = fingerprint.from_positions(entry.positions)
-                problem.validate_plan(order)
-            except (ServingError, InvalidPlanError):
-                # A corrupt or incompatible entry must never break serving;
-                # fall through to a cold optimization that replaces it.
-                pass
-            else:
-                needs_refresh = lookup.stale or (
-                    self.config.drift_threshold is not None
-                    and self.cache.needs_revalidation(
-                        entry, problem, self.config.drift_threshold
-                    )
-                )
-                if needs_refresh:
-                    self._schedule_revalidation(problem, fingerprint.key)
-                latency = stopwatch.stop()
-                source = "stale" if lookup.stale else "hit"
-                cost = problem.cost(order)
-                self.metrics.observe(source, latency, cost, entry.optimal)
-                return PlanResponse(
-                    order=order,
-                    service_names=tuple(problem.service(index).name for index in order),
-                    cost=cost,
-                    algorithm=entry.algorithm,
-                    optimal=entry.optimal,
-                    cache_hit=True,
-                    stale=lookup.stale,
-                    fingerprint=fingerprint.key,
-                    latency_seconds=latency,
-                )
+        if self.config.cache_enabled:
+            cached = self._try_cached_response(problem, fingerprint, stopwatch)
+            if cached is not None:
+                return cached
 
         try:
-            result = self._optimize_and_cache(problem, budget_seconds, fingerprint)
+            positions, algorithm, optimal, leader = self._optimize_cold(
+                problem, budget_seconds, fingerprint
+            )
         except ReproError:
             self.metrics.record_failure()
             raise
+        order = fingerprint.from_positions(positions)
+        cost = problem.cost(order)
         latency = stopwatch.stop()
-        self.metrics.observe("cold", latency, result.cost, result.optimal)
+        self.metrics.observe("cold", latency, cost, optimal)
+        if not leader:
+            self.metrics.record_coalesced()
         return PlanResponse(
-            order=result.order,
-            service_names=tuple(problem.service(index).name for index in result.order),
-            cost=result.cost,
-            algorithm=result.algorithm,
-            optimal=result.optimal,
+            order=order,
+            service_names=tuple(problem.service(index).name for index in order),
+            cost=cost,
+            algorithm=algorithm,
+            optimal=optimal,
             cache_hit=False,
             stale=False,
             fingerprint=fingerprint.key,
             latency_seconds=latency,
+            coalesced=not leader,
         )
+
+    def _try_cached_response(
+        self,
+        problem: OrderingProblem,
+        fingerprint: ProblemFingerprint,
+        stopwatch: Stopwatch,
+    ) -> PlanResponse | None:
+        """Answer from the cache, or return ``None`` when a cold path is needed."""
+        lookup = self.cache.get(fingerprint)
+        entry = lookup.entry
+        if entry is None:
+            return None
+        try:
+            order = fingerprint.from_positions(entry.positions)
+            problem.validate_plan(order)
+        except (ServingError, InvalidPlanError):
+            # A corrupt or incompatible entry must never break serving;
+            # fall through to a cold optimization that replaces it.
+            return None
+        needs_refresh = lookup.stale or (
+            self.config.drift_threshold is not None
+            and self.cache.needs_revalidation(entry, problem, self.config.drift_threshold)
+        )
+        if needs_refresh:
+            self._schedule_revalidation(problem, fingerprint.key)
+        latency = stopwatch.stop()
+        source = "stale" if lookup.stale else "hit"
+        cost = problem.cost(order)
+        self.metrics.observe(source, latency, cost, entry.optimal)
+        return PlanResponse(
+            order=order,
+            service_names=tuple(problem.service(index).name for index in order),
+            cost=cost,
+            algorithm=entry.algorithm,
+            optimal=entry.optimal,
+            cache_hit=True,
+            stale=lookup.stale,
+            fingerprint=fingerprint.key,
+            latency_seconds=latency,
+        )
+
+    def _optimize_cold(
+        self,
+        problem: OrderingProblem,
+        budget_seconds: float | None,
+        fingerprint: ProblemFingerprint,
+    ) -> tuple[tuple[int, ...], str, bool, bool]:
+        """Optimize a miss, coalescing concurrent misses on the same fingerprint.
+
+        Returns ``(canonical positions, algorithm, optimal, leader)``.  The
+        flight shares canonical *positions* rather than a result object: each
+        rider re-attaches them to its own problem instance, exactly like a
+        cache hit.  With the cache disabled every submission must optimize
+        cold by contract, so coalescing is bypassed.
+        """
+
+        def compute() -> tuple[tuple[int, ...], str, bool]:
+            result = self._optimize_and_cache(problem, budget_seconds, fingerprint)
+            return (fingerprint.to_positions(result.order), result.algorithm, result.optimal)
+
+        if not self.config.cache_enabled:
+            return (*compute(), True)
+        value, leader = self._single_flight.do(fingerprint.key, compute)
+        positions, algorithm, optimal = value  # type: ignore[misc]
+        return (positions, algorithm, optimal, leader)
+
+    def _answer_batch(
+        self, problems: Sequence[OrderingProblem], budget_seconds: float | None
+    ) -> list[PlanResponse]:
+        responses: list[PlanResponse | None] = [None] * len(problems)
+        fingerprints = [
+            fingerprint_problem(problem, self.config.fingerprint_precision)
+            for problem in problems
+        ]
+
+        # Pass 1: serve cache hits, group the misses by fingerprint key.  With
+        # the cache disabled there is no grouping: fingerprint identity is
+        # quantized, and cache_enabled=False opts out of quantized sharing.
+        miss_groups: list[list[int]] = []
+        group_of_key: dict[str, list[int]] = {}
+        for index, (problem, fingerprint) in enumerate(zip(problems, fingerprints)):
+            stopwatch = Stopwatch().start()
+            if not self.config.cache_enabled:
+                miss_groups.append([index])
+                continue
+            cached = self._try_cached_response(problem, fingerprint, stopwatch)
+            if cached is not None:
+                responses[index] = cached
+                continue
+            group = group_of_key.get(fingerprint.key)
+            if group is None:
+                group = []
+                group_of_key[fingerprint.key] = group
+                miss_groups.append(group)
+            group.append(index)
+
+        # Pass 2: one optimization per unique missing fingerprint; every
+        # member of the group shares the canonical positions it produced.
+        for indices in miss_groups:
+            leader_index = indices[0]
+            stopwatch = Stopwatch().start()
+            try:
+                positions, algorithm, optimal, leader = self._optimize_cold(
+                    problems[leader_index], budget_seconds, fingerprints[leader_index]
+                )
+            except ReproError:
+                self.metrics.record_failure()
+                raise
+            latency = stopwatch.stop()
+            for index in indices:
+                problem = problems[index]
+                fingerprint = fingerprints[index]
+                order = fingerprint.from_positions(positions)
+                cost = problem.cost(order)
+                coalesced = index != leader_index or not leader
+                self.metrics.observe("cold", latency, cost, optimal)
+                if coalesced:
+                    self.metrics.record_coalesced()
+                responses[index] = PlanResponse(
+                    order=order,
+                    service_names=tuple(problem.service(i).name for i in order),
+                    cost=cost,
+                    algorithm=algorithm,
+                    optimal=optimal,
+                    cache_hit=False,
+                    stale=False,
+                    fingerprint=fingerprint.key,
+                    latency_seconds=latency,
+                    coalesced=coalesced,
+                )
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
 
     def _optimize_and_cache(
         self,

@@ -1,0 +1,132 @@
+"""Tests of the persistent optimizer worker pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import optimize
+from repro.exceptions import OptimizationError, ParallelError
+from repro.parallel import OptimizerPool
+from repro.parallel import optimize_many as optimize_many_oneshot
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with OptimizerPool(workers=2) as shared:
+        yield shared
+
+
+class TestOptimizeMany:
+    def test_matches_sequential_bit_for_bit(self, pool, make_random_problem):
+        problems = [make_random_problem(6, seed) for seed in range(4)]
+        for algorithm in ("branch_and_bound", "dynamic_programming", "greedy_min_term"):
+            parallel = pool.optimize_many(problems, algorithm=algorithm)
+            sequential = [optimize(problem, algorithm=algorithm) for problem in problems]
+            for par, seq in zip(parallel, sequential):
+                assert par.cost == seq.cost  # == on floats: bit-identical
+                assert par.order == seq.order
+                assert par.optimal is seq.optimal
+
+    def test_results_attach_to_the_submitted_instances(self, pool, make_random_problem):
+        problems = [make_random_problem(5, seed) for seed in range(3)]
+        results = pool.optimize_many(problems, algorithm="branch_and_bound")
+        for problem, result in zip(problems, results):
+            assert result.plan.problem is problem
+            problem.validate_plan(result.order)
+
+    def test_batch_dedup_optimizes_each_unique_problem_once(self, make_random_problem):
+        problems = [make_random_problem(5, seed) for seed in range(3)]
+        with OptimizerPool(workers=2) as pool:
+            results = pool.optimize_many(problems * 4, algorithm="branch_and_bound")
+            assert pool.stats()["tasks_submitted"] == 3
+            assert len(results) == 12
+            for index, result in enumerate(results):
+                assert result.cost == results[index % 3].cost
+
+    def test_dedup_can_be_disabled(self, make_random_problem):
+        problems = [make_random_problem(4, 0)] * 3
+        with OptimizerPool(workers=1) as pool:
+            pool.optimize_many(problems, algorithm="greedy_min_term", dedup=False)
+            stats = pool.stats()
+            assert stats["tasks_submitted"] == 3
+            # The worker's warm cache still kicks in for the repeats.
+            assert stats["warm_hits"] == 2
+
+    def test_options_are_forwarded(self, pool, make_random_problem):
+        problems = [make_random_problem(5, 9)]
+        results = pool.optimize_many(
+            problems, algorithm="beam_search", options={"width": 1}
+        )
+        assert results[0].algorithm == "beam_search"
+
+    def test_member_error_is_raised_with_context(self, pool, make_random_problem):
+        problems = [make_random_problem(4, 0), make_random_problem(5, 1)]
+        with pytest.raises(OptimizationError, match="problem 1"):
+            pool.optimize_many(problems, algorithm="exhaustive", options={"max_size": 4})
+
+    def test_precedence_constraints_survive_the_boundary(self, pool, constrained_problem):
+        results = pool.optimize_many([constrained_problem], algorithm="branch_and_bound")
+        constrained_problem.validate_plan(results[0].order)
+        sequential = optimize(constrained_problem, algorithm="branch_and_bound")
+        assert results[0].cost == sequential.cost
+
+    def test_empty_batch(self, pool):
+        assert pool.optimize_many([]) == []
+
+    def test_pool_is_reused_across_batches(self, make_random_problem):
+        with OptimizerPool(workers=1) as pool:
+            problem = make_random_problem(5, 2)
+            pool.optimize_many([problem], algorithm="greedy_min_term")
+            pool.optimize_many([problem], algorithm="greedy_min_term")
+            stats = pool.stats()
+            assert stats["tasks_submitted"] == 2
+            # Same payload in the second batch: the worker's warm cache hit.
+            assert stats["warm_hits"] == 1
+
+
+class TestLifecycle:
+    def test_closed_pool_rejects_batches(self, make_random_problem):
+        pool = OptimizerPool(workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ParallelError):
+            pool.optimize_many([make_random_problem(4, 0)])
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ParallelError):
+            OptimizerPool(workers=0)
+        with pytest.raises(ParallelError):
+            OptimizerPool(workers=1, warm_cache_size=0)
+
+    def test_oneshot_wrapper(self, make_random_problem):
+        problems = [make_random_problem(5, seed) for seed in range(2)]
+        results = optimize_many_oneshot(problems, algorithm="greedy_min_term", workers=1)
+        assert [result.algorithm for result in results] == ["greedy_min_term"] * 2
+
+
+class TestExperimentIntegration:
+    def test_optimize_suite_matches_sequential(self, pool, make_random_problem):
+        from repro.experiments import optimize_suite
+
+        problems = [make_random_problem(5, seed) for seed in range(3)]
+        sequential = optimize_suite(problems, "branch_and_bound")
+        pooled = optimize_suite(problems, "branch_and_bound", pool=pool)
+        assert [r.cost for r in pooled] == [r.cost for r in sequential]
+        assert [r.order for r in pooled] == [r.order for r in sequential]
+
+    def test_e1_runs_on_the_worker_pool(self):
+        from repro.experiments import run_e1_optimality
+
+        result = run_e1_optimality(sizes=(4, 5), instances_per_size=2, workers=2)
+        rows = result.row_dicts()
+        assert [row["bb = exhaustive"] for row in rows] == [2, 2]
+        assert [row["bb = dp"] for row in rows] == [2, 2]
+
+    def test_e4_runs_on_the_worker_pool(self):
+        from repro.experiments import run_e4_plan_quality
+
+        result = run_e4_plan_quality(
+            service_count=5, levels=(0.0, 1.0), instances_per_level=2, workers=2
+        )
+        for row in result.row_dicts():
+            assert row["srivastava_centralized ratio"] >= 1.0

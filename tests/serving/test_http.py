@@ -84,6 +84,55 @@ class TestPlanEndpoint:
         assert status == 404
 
 
+class TestBatchEndpoint:
+    def test_post_batch_answers_in_order_and_deduplicates(self, server):
+        problem = credit_card_screening()
+        document = problem_to_dict(problem)
+        status, payload = post_json(
+            f"{server}/plan/batch", {"problems": [document, document, document]}
+        )
+        assert status == 200
+        responses = payload["responses"]
+        assert len(responses) == 3
+        for response in responses:
+            assert sorted(response["order"]) == list(range(problem.size))
+            assert response["cost"] == pytest.approx(problem.cost(response["order"]))
+        # One leader optimized; the structural twins rode along.
+        assert [r["coalesced"] for r in responses] == [False, True, True]
+        status, stats = get_json(f"{server}/stats")
+        assert stats["requests"]["coalesced"] == 2
+
+    def test_batch_with_budget_wrapper(self, server):
+        problem = credit_card_screening()
+        status, payload = post_json(
+            f"{server}/plan/batch",
+            {"problems": [problem_to_dict(problem)], "budget_seconds": 0.5},
+        )
+        assert status == 200
+        assert len(payload["responses"]) == 1
+
+    def test_malformed_batch_is_a_400(self, server):
+        for bad in ({}, {"problems": []}, {"problems": "nope"}, {"problems": [{"services": 1}]}):
+            status, payload = post_json(f"{server}/plan/batch", bad)
+            assert status == 400
+            assert "error" in payload
+
+    def test_non_numeric_budget_is_a_400(self, server):
+        problem_document = problem_to_dict(credit_card_screening())
+        status, payload = post_json(
+            f"{server}/plan/batch",
+            {"problems": [problem_document], "budget_seconds": "0.2"},
+        )
+        assert status == 400
+        assert "budget_seconds" in payload["error"]
+        status, payload = post_json(
+            f"{server}/plan",
+            {"problem": problem_document, "budget_seconds": "0.2"},
+        )
+        assert status == 400
+        assert "budget_seconds" in payload["error"]
+
+
 class TestStatsAndHealth:
     def test_stats_reflects_traffic(self, server):
         problem = credit_card_screening()

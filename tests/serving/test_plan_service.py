@@ -192,12 +192,40 @@ class TestStress:
 
 class TestServingMetrics:
     def test_latency_summary_quantiles(self):
+        # Nearest-rank: the q-quantile of n samples is the ceil(q*n)-th order
+        # statistic, so of 1..100 the p50 is the 50th sample and p95 the 95th.
         summary = LatencySummary.of([float(i) for i in range(1, 101)])
         assert summary.count == 100
-        assert summary.p50 == 51.0
-        assert summary.p95 == 96.0
+        assert summary.p50 == 50.0
+        assert summary.p95 == 95.0
+        assert summary.p99 == 99.0
         assert summary.max == 100.0
         assert LatencySummary.of([]).count == 0
+
+    def test_latency_summary_small_populations(self):
+        # A single sample is every quantile of itself.
+        single = LatencySummary.of([3.0])
+        assert (single.p50, single.p95, single.p99, single.max) == (3.0, 3.0, 3.0, 3.0)
+        # With n=4, p95/p99 must be the maximum (rank ceil(0.95*4)=4), and the
+        # p50 the 2nd order statistic — the truncation rule used to pick the
+        # 3rd for p50 and could never be pinned to a rank definition.
+        four = LatencySummary.of([4.0, 1.0, 3.0, 2.0])
+        assert four.p50 == 2.0
+        assert four.p95 == 4.0
+        assert four.p99 == 4.0
+
+    def test_snapshot_reuses_sorted_reservoir_until_dirty(self):
+        metrics = ServingMetrics()
+        metrics.observe("hit", 0.3, 1.0, False)
+        metrics.observe("hit", 0.1, 1.0, False)
+        first = metrics.snapshot()["latency"]["hit"]
+        assert first["p50"] == 0.1 and first["max"] == 0.3
+        # A second snapshot without new observations serves the cached sort.
+        assert metrics.snapshot()["latency"]["hit"] == first
+        # New observations invalidate the cache and show up in the next snapshot.
+        metrics.observe("hit", 0.2, 1.0, False)
+        second = metrics.snapshot()["latency"]["hit"]
+        assert second["count"] == 3 and second["p50"] == 0.2
 
     def test_observe_rejects_unknown_source(self):
         metrics = ServingMetrics()

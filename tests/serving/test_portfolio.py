@@ -25,6 +25,12 @@ class TestOptions:
         with pytest.raises(ServingError):
             PortfolioOptions(budget_seconds=-1.0)
 
+    def test_duplicate_members_rejected(self):
+        # The process backend tracks race members by name; duplicates would
+        # orphan all but the last process of that name at the deadline.
+        with pytest.raises(ServingError):
+            PortfolioOptions(algorithms=("greedy_min_term", "exhaustive", "exhaustive"))
+
 
 class TestRace:
     def test_best_result_is_at_least_as_good_as_every_member(self, four_service_problem):

@@ -1,0 +1,223 @@
+"""Tests of single-flight miss coalescing and batch optimization.
+
+The stampede test is a satellite acceptance criterion: N concurrent cache
+misses on one fingerprint must run exactly one optimization — the rest of
+the herd waits for the leader's answer instead of each racing the portfolio.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import PlanService, PlanServiceConfig, SingleFlight, fingerprint_problem
+
+
+class TestSingleFlightPrimitive:
+    def test_sequential_calls_each_lead(self):
+        flight = SingleFlight()
+        calls = []
+        for _ in range(3):
+            value, leader = flight.do("k", lambda: calls.append(1) or len(calls))
+            assert leader
+        assert len(calls) == 3
+
+    def test_concurrent_calls_coalesce(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            release.wait(timeout=5.0)
+            return "answer"
+
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def caller():
+            outcome = flight.do("k", compute)
+            with outcomes_lock:
+                outcomes.append(outcome)
+
+        leader = threading.Thread(target=caller)
+        leader.start()
+        while not calls:  # wait for the leader to be inside compute()
+            pass
+        followers = [threading.Thread(target=caller) for _ in range(3)]
+        for thread in followers:
+            thread.start()
+        limit = time.time() + 5.0
+        while flight.waiting("k") < 3:  # all followers inside the flight
+            assert time.time() < limit, "followers never joined the flight"
+            time.sleep(0.001)
+        release.set()
+        leader.join(timeout=5.0)
+        for thread in followers:
+            thread.join(timeout=5.0)
+
+        assert len(calls) == 1, "exactly one computation per concurrent burst"
+        assert [value for value, _ in outcomes] == ["answer"] * 4
+        assert sum(1 for _, lead in outcomes if lead) == 1
+        assert flight.in_flight() == 0
+
+    def test_leader_error_propagates_to_followers(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        started = threading.Event()
+
+        def explode():
+            started.set()
+            release.wait(timeout=5.0)
+            raise ValueError("boom")
+
+        errors = []
+
+        def leader():
+            with pytest.raises(ValueError):
+                flight.do("k", explode)
+
+        def follower():
+            try:
+                flight.do("k", lambda: "never")
+            except ServingError as error:
+                errors.append(str(error))
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        assert started.wait(timeout=5.0)
+        follower_thread = threading.Thread(target=follower)
+        follower_thread.start()
+        # Give the follower a moment to join the flight before releasing.
+        while flight.in_flight() == 0:
+            pass
+        release.set()
+        leader_thread.join(timeout=5.0)
+        follower_thread.join(timeout=5.0)
+        assert errors and "boom" in errors[0]
+
+
+class TestStampede:
+    def test_concurrent_misses_on_one_fingerprint_optimize_once(self, four_service_problem):
+        """Satellite acceptance: N concurrent misses -> exactly one optimization."""
+        herd = 8
+        config = PlanServiceConfig(budget_seconds=None, max_in_flight=herd, queue_depth=herd)
+        with PlanService(config) as service:
+            key = fingerprint_problem(four_service_problem).key
+            optimize_calls = []
+            calls_lock = threading.Lock()
+            barrier = threading.Barrier(herd)
+            original = service._portfolio.optimize
+
+            def counting_optimize(problem, budget_seconds=None):
+                with calls_lock:
+                    optimize_calls.append(threading.current_thread().name)
+                # Hold the leader inside the optimization until the whole herd
+                # has piled onto the flight (bounded, in case of a regression
+                # where followers optimize instead of waiting).
+                limit = time.time() + 5.0
+                while service._single_flight.waiting(key) < herd - 1 and time.time() < limit:
+                    time.sleep(0.001)
+                return original(problem, budget_seconds=budget_seconds)
+
+            service._portfolio.optimize = counting_optimize
+
+            responses = []
+            responses_lock = threading.Lock()
+
+            def request():
+                barrier.wait(timeout=5.0)
+                response = service.submit(four_service_problem)
+                with responses_lock:
+                    responses.append(response)
+
+            threads = [threading.Thread(target=request) for _ in range(herd)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+            assert len(responses) == herd
+            assert len(optimize_calls) == 1, "the herd must coalesce onto one optimization"
+            costs = {response.cost for response in responses}
+            assert len(costs) == 1
+            orders = {response.order for response in responses}
+            assert len(orders) == 1
+            assert sum(1 for r in responses if not r.cache_hit and not r.coalesced) == 1
+            assert service.metrics.coalesced == herd - 1
+            assert service.metrics.snapshot()["coalesced"] == herd - 1
+
+
+class TestOptimizeBatch:
+    def test_batch_deduplicates_structural_twins(self, make_random_problem):
+        problems = [make_random_problem(5, seed) for seed in range(3)]
+        config = PlanServiceConfig(budget_seconds=None)
+        with PlanService(config) as service:
+            optimize_calls = []
+            original = service._portfolio.optimize
+
+            def counting_optimize(problem, budget_seconds=None):
+                optimize_calls.append(problem)
+                return original(problem, budget_seconds=budget_seconds)
+
+            service._portfolio.optimize = counting_optimize
+            responses = service.optimize_batch(problems * 3)
+
+            assert len(optimize_calls) == 3, "one optimization per unique fingerprint"
+            assert len(responses) == 9
+            for index, response in enumerate(responses):
+                problem = problems[index % 3]
+                problem.validate_plan(response.order)
+                assert response.cost == pytest.approx(problem.cost(response.order))
+            leaders = [r for r in responses if not r.coalesced and not r.cache_hit]
+            assert len(leaders) == 3
+            assert service.metrics.coalesced == 6
+
+    def test_batch_serves_warm_entries_from_the_cache(self, four_service_problem):
+        with PlanService(PlanServiceConfig(budget_seconds=None)) as service:
+            cold = service.submit(four_service_problem)
+            responses = service.optimize_batch([four_service_problem] * 2)
+            assert all(r.cache_hit for r in responses)
+            assert all(r.cost == pytest.approx(cold.cost) for r in responses)
+
+    def test_batch_with_cache_disabled_optimizes_every_member_cold(
+        self, four_service_problem
+    ):
+        # cache_enabled=False is the opt-out from fingerprint-approximate
+        # answers, so batch members must not share quantization-equal plans.
+        config = PlanServiceConfig(budget_seconds=None, cache_enabled=False)
+        with PlanService(config) as service:
+            optimize_calls = []
+            original = service._portfolio.optimize
+
+            def counting_optimize(problem, budget_seconds=None):
+                optimize_calls.append(problem)
+                return original(problem, budget_seconds=budget_seconds)
+
+            service._portfolio.optimize = counting_optimize
+            responses = service.optimize_batch([four_service_problem] * 3)
+            assert len(optimize_calls) == 3
+            assert [r.cache_hit for r in responses] == [False] * 3
+            assert [r.coalesced for r in responses] == [False] * 3
+            assert len(service.cache) == 0
+
+    def test_empty_batch(self, four_service_problem):
+        with PlanService(PlanServiceConfig(budget_seconds=None)) as service:
+            assert service.optimize_batch([]) == []
+
+    def test_closed_service_rejects_batches(self, four_service_problem):
+        service = PlanService(PlanServiceConfig(budget_seconds=None))
+        service.close()
+        with pytest.raises(ServingError):
+            service.optimize_batch([four_service_problem])
+
+    def test_batch_counts_one_admission_unit(self, make_random_problem):
+        problems = [make_random_problem(4, seed) for seed in range(6)]
+        config = PlanServiceConfig(budget_seconds=None, max_in_flight=1, queue_depth=0)
+        with PlanService(config) as service:
+            responses = service.optimize_batch(problems)
+            assert len(responses) == 6
+            assert service.metrics.rejected == 0

@@ -150,3 +150,44 @@ class TestScenariosAndExperiments:
     def test_unknown_experiment_id(self, capsys):
         assert main(["experiment", "E42"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_runs_a_benchmark_module_and_writes_its_artifact(self, tmp_path, capsys):
+        # A tiny stand-in module keeps this test fast and hermetic; the real
+        # bench modules are smoke-run in CI through the same subcommand.
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_demo.py").write_text(
+            "import json, pathlib\n"
+            "def main(argv=None):\n"
+            "    argv = list(argv or [])\n"
+            "    out = pathlib.Path(argv[argv.index('-o') + 1])\n"
+            "    out.write_text(json.dumps({'benchmark': 'demo'}))\n"
+            "    print('wrote', out)\n"
+            # No return: a main() falling off the end must count as success.
+        )
+        artifact = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--benchmarks-dir",
+                    str(bench_dir),
+                    "demo",
+                    "-o",
+                    str(artifact),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(artifact.read_text()) == {"benchmark": "demo"}
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["bench", "--benchmarks-dir", str(tmp_path), "nope"]) == 2
+        assert "no benchmark module" in capsys.readouterr().err
+
+    def test_plan_accepts_the_process_backend(self, problem_file, capsys):
+        assert main(["plan", problem_file, "--backend", "processes", "--budget", "5"]) == 0
+        assert "portfolio" in capsys.readouterr().out
