@@ -109,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("threads", "processes"),
         help="portfolio racing backend (processes terminates stragglers at the deadline)",
     )
+    plan.add_argument(
+        "--mp-context",
+        default=None,
+        choices=("fork", "forkserver", "spawn"),
+        help="multiprocessing start method of the process backend "
+        "(forkserver/spawn avoid forking from a threaded service)",
+    )
 
     serve_cmd = subparsers.add_parser("serve", help="run the long-running JSON/HTTP plan service")
     serve_cmd.add_argument("--host", default="127.0.0.1", help="interface to bind")
@@ -127,6 +134,40 @@ def build_parser() -> argparse.ArgumentParser:
         default="threads",
         choices=("threads", "processes"),
         help="portfolio racing backend (processes terminates stragglers at the deadline)",
+    )
+    serve_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of PlanService shards behind a consistent-hash router "
+        "(1 = a single unsharded service)",
+    )
+    serve_cmd.add_argument(
+        "--shard-backend",
+        default="processes",
+        choices=("inproc", "processes"),
+        help="where shards run: one OS process each (true multi-core serving) "
+        "or all in this process",
+    )
+    serve_cmd.add_argument(
+        "--mp-context",
+        default=None,
+        choices=("fork", "forkserver", "spawn"),
+        help="multiprocessing start method for shard/portfolio/revalidation "
+        "processes (forkserver/spawn avoid forking from a threaded service)",
+    )
+    serve_cmd.add_argument(
+        "--share-cache-dir",
+        default=None,
+        help="directory of a file-backed plan store shared by every shard "
+        "(warm plans survive rebalances); default: per-shard in-process store",
+    )
+    serve_cmd.add_argument(
+        "--revalidation-backend",
+        default="threads",
+        choices=("threads", "pool"),
+        help="run background drift/staleness refreshes on service threads or "
+        "on a worker-process pool (off the request path)",
     )
 
     bench = subparsers.add_parser(
@@ -229,6 +270,7 @@ def _command_plan(args: argparse.Namespace) -> int:
         cache_enabled=args.cached,
         stale_while_revalidate=args.cached,
         portfolio_backend=args.backend,
+        mp_context=args.mp_context,
     )
     with PlanService(config) as service:
         responses = [service.submit(problem) for _ in range(args.repeat)]
@@ -251,13 +293,33 @@ def _command_plan(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serving import PlanService, PlanServiceConfig, serve
 
+    if args.shards < 1:
+        raise ReproError(f"--shards must be at least 1, got {args.shards!r}")
     config = PlanServiceConfig(
         budget_seconds=args.budget,
         cache_capacity=args.cache_capacity,
         cache_ttl=args.ttl if args.ttl > 0 else None,
         portfolio_backend=args.backend,
+        mp_context=args.mp_context,
+        cache_store_dir=args.share_cache_dir,
+        revalidation_backend=args.revalidation_backend,
     )
-    with PlanService(config) as service:
+    if args.shards > 1:
+        from repro.sharding import ShardRouter, ShardRouterConfig
+
+        backend = ShardRouter(
+            ShardRouterConfig(
+                shards=args.shards,
+                backend=args.shard_backend,
+                service_config=config,
+                shared_cache_dir=args.share_cache_dir,
+            )
+        )
+        topology = f"{args.shards} {args.shard_backend} shards"
+    else:
+        backend = PlanService(config)
+        topology = "1 service"
+    with backend as service:
         try:
             server = serve(service, host=args.host, port=args.port)
         except OSError as error:
@@ -265,7 +327,10 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"cannot bind {args.host}:{args.port}: {error.strerror or error}"
             ) from error
         host, port = server.server_address[:2]
-        print(f"plan service listening on http://{host}:{port} (POST /plan, GET /stats)")
+        print(
+            f"plan service ({topology}) listening on http://{host}:{port} "
+            f"(POST /plan, POST /plan/batch, GET /stats)"
+        )
         try:
             # serve_forever runs on this thread, so when it returns (or is
             # interrupted) the accept loop is already down; only the socket

@@ -78,3 +78,7 @@ class ServingError(ReproError):
 
 class AdmissionError(ServingError):
     """A request was rejected by the plan service's admission control (overload)."""
+
+
+class ShardingError(ServingError):
+    """The sharded serving tier was misconfigured or a shard failed."""

@@ -20,6 +20,14 @@ make the pool a genuine batch-throughput engine rather than a thin
   A serving trace where the same query arrives many times compiles in
   ``O(unique)`` optimizations instead of ``O(requests)``.
 
+Batches are routed, not serialized: a dedicated *collector* thread owns the
+result queue and steers each worker answer to the batch that submitted it (a
+task-id → batch registry), so concurrent :meth:`~OptimizerPool.optimize_many`
+calls from different threads interleave on the same workers instead of
+queueing behind one long-held lock.  A small submission that arrives while a
+big batch compiles gets the next free worker, not a place at the back of the
+big batch's critical section.
+
 Workers are real processes, so the pool sidesteps the GIL on multi-core
 machines — and, unlike threads, its members can be killed: the deadline race
 in :mod:`repro.parallel.race` builds on the same worker entry point.
@@ -27,7 +35,6 @@ in :mod:`repro.parallel.race` builds on the same worker entry point.
 
 from __future__ import annotations
 
-import itertools
 import multiprocessing
 import os
 import queue
@@ -47,13 +54,27 @@ _SHUTDOWN = None
 """Sentinel a worker interprets as 'drain and exit'."""
 
 _RESULT_POLL_SECONDS = 0.25
-"""How often the parent wakes up while waiting on results to check worker health."""
+"""How often the collector wakes up while idle to check worker health."""
 
 
-def preferred_context() -> multiprocessing.context.BaseContext:
-    """The cheapest available multiprocessing context (fork where supported)."""
+def preferred_context(method: str | None = None) -> multiprocessing.context.BaseContext:
+    """A multiprocessing context: ``method`` when given, else the cheapest.
+
+    ``method`` is one of :func:`multiprocessing.get_all_start_methods`
+    (``fork`` / ``forkserver`` / ``spawn``); ``None`` picks ``fork`` where
+    supported — the cheap default — leaving deployments that fork from
+    threaded parents free to ask for ``forkserver`` or ``spawn`` instead
+    (see :attr:`repro.serving.portfolio.PortfolioOptions.mp_context`).
+    """
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    if method is None:
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+    if method not in methods:
+        raise ParallelError(
+            f"unsupported multiprocessing start method {method!r}; "
+            f"available: {', '.join(methods)}"
+        )
+    return multiprocessing.get_context(method)
 
 
 def default_worker_count() -> int:
@@ -79,6 +100,12 @@ def _decode_cached(
 
 def _worker_main(tasks, results, warm_cache_size: int) -> None:
     """Worker process entry point: loop over tasks until the shutdown sentinel."""
+    import signal
+
+    # Shutdown is coordinated by the parent (sentinel, then terminate); a
+    # foreground Ctrl-C must not kill workers mid-task with a traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
     from repro.core.optimizer import optimize  # after fork/spawn, in the child
 
     cache: "OrderedDict[tuple, OrderingProblem]" = OrderedDict()
@@ -98,6 +125,21 @@ def _worker_main(tasks, results, warm_cache_size: int) -> None:
             results.put((task_id, True, result_to_wire(result), warm))
 
 
+class _PendingBatch:
+    """Parent-side bookkeeping of one in-flight :meth:`optimize_many` call."""
+
+    __slots__ = ("position_of_task", "remaining", "wires", "errors", "warm_hits", "failure", "done")
+
+    def __init__(self, position_of_task: dict[int, int]) -> None:
+        self.position_of_task = position_of_task
+        self.remaining = len(position_of_task)
+        self.wires: dict[int, tuple] = {}
+        self.errors: dict[int, str] = {}
+        self.warm_hits = 0
+        self.failure: str | None = None
+        self.done = threading.Event()
+
+
 class OptimizerPool:
     """A persistent pool of optimizer worker processes.
 
@@ -108,25 +150,30 @@ class OptimizerPool:
     warm_cache_size:
         Problems each worker keeps decoded (with a built evaluation kernel).
     context:
-        Multiprocessing context; defaults to ``fork`` where available.
+        Multiprocessing context, or a start-method name (``"fork"`` /
+        ``"forkserver"`` / ``"spawn"``); defaults to ``fork`` where available.
 
-    The pool is thread-safe: one internal lock serialises batch submissions,
-    which is the contract the single-flighted serving layer needs.  Use it as
-    a context manager, or call :meth:`close` explicitly.
+    The pool is thread-safe and batches run *concurrently*: each
+    :meth:`optimize_many` call registers its tasks with the collector thread
+    and waits only for its own answers, so callers never queue behind another
+    caller's batch.  Use it as a context manager, or call :meth:`close`
+    explicitly.
     """
 
     def __init__(
         self,
         workers: int | None = None,
         warm_cache_size: int = 64,
-        context: multiprocessing.context.BaseContext | None = None,
+        context: multiprocessing.context.BaseContext | str | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ParallelError(f"workers must be at least 1, got {workers!r}")
         if warm_cache_size < 1:
             raise ParallelError(f"warm_cache_size must be at least 1, got {warm_cache_size!r}")
         self.workers = workers if workers is not None else default_worker_count()
-        self._context = context if context is not None else preferred_context()
+        if context is None or isinstance(context, str):
+            context = preferred_context(context)
+        self._context = context
         self._tasks = self._context.Queue()
         self._results = self._context.Queue()
         self._processes = [
@@ -140,20 +187,33 @@ class OptimizerPool:
         ]
         for process in self._processes:
             process.start()
-        self._task_ids = itertools.count()
-        self._lock = threading.Lock()
+        # _state_lock guards the task-id counter, the pending registry and the
+        # counters — never held across queue waits or optimization work.
+        self._state_lock = threading.Lock()
+        self._next_task_id = 0
+        self._pending: dict[int, _PendingBatch] = {}
         self._closed = False
         self._tasks_submitted = 0
         self._warm_hits = 0
+        self._collector_stop = threading.Event()
+        self._collector = threading.Thread(
+            target=self._collect, name="optimizer-pool-collector", daemon=True
+        )
+        self._collector.start()
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self, timeout: float = 2.0) -> None:
         """Shut the workers down (idempotent); stragglers are terminated."""
-        with self._lock:
+        with self._state_lock:
             if self._closed:
                 return
             self._closed = True
+            orphaned = set(self._pending.values())
+            self._pending.clear()
+        for batch in orphaned:
+            batch.failure = "the optimizer pool was closed with tasks outstanding"
+            batch.done.set()
         for _ in self._processes:
             self._tasks.put(_SHUTDOWN)
         for process in self._processes:
@@ -162,6 +222,8 @@ class OptimizerPool:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=timeout)
+        self._collector_stop.set()
+        self._collector.join(timeout=timeout + _RESULT_POLL_SECONDS)
         self._tasks.close()
         self._results.close()
 
@@ -187,50 +249,48 @@ class OptimizerPool:
         all duplicates (each re-attached to its own problem instance).  Raises
         :class:`~repro.exceptions.OptimizationError` if any member fails and
         :class:`~repro.exceptions.ParallelError` if a worker process dies.
+        Concurrent calls from different threads interleave on the workers.
         """
         if not problems:
             return []
         options = dict(options or {})
-        with self._lock:
+        payloads = [problem_to_wire(problem) for problem in problems]
+        first_position: dict[tuple, int] = {}
+        unique_positions: list[int] = []
+        for position, payload in enumerate(payloads):
+            if not dedup or payload not in first_position:
+                first_position[payload] = position
+                unique_positions.append(position)
+
+        tasks = []
+        with self._state_lock:
             if self._closed:
                 raise ParallelError("the optimizer pool has been closed")
-            payloads = [problem_to_wire(problem) for problem in problems]
-            first_position: dict[tuple, int] = {}
-            unique_positions: list[int] = []
-            for position, payload in enumerate(payloads):
-                if not dedup or payload not in first_position:
-                    first_position[payload] = position
-                    unique_positions.append(position)
-            task_of_position = {}
+            position_of_task: dict[int, int] = {}
             for position in unique_positions:
-                task_id = next(self._task_ids)
-                task_of_position[task_id] = position
-                self._tasks.put((task_id, payloads[position], algorithm, tuple(options.items())))
+                task_id = self._next_task_id
+                self._next_task_id += 1
+                position_of_task[task_id] = position
+                tasks.append((task_id, payloads[position], algorithm, tuple(options.items())))
+            batch = _PendingBatch(position_of_task)
+            for task_id in position_of_task:
+                self._pending[task_id] = batch
             self._tasks_submitted += len(unique_positions)
+        try:
+            for task in tasks:
+                self._tasks.put(task)
+        except (ValueError, OSError) as error:
+            # close() won the race and tore the task queue down after this
+            # batch registered; surface the pool's own error type.
+            raise ParallelError("the optimizer pool has been closed") from error
 
-            wires: dict[int, tuple] = {}
-            errors: dict[int, str] = {}
-            while len(wires) + len(errors) < len(unique_positions):
-                try:
-                    task_id, ok, payload, warm = self._results.get(timeout=_RESULT_POLL_SECONDS)
-                except queue.Empty:
-                    self._check_workers()
-                    continue
-                position = task_of_position.get(task_id)
-                if position is None:
-                    # A straggler from a batch that aborted (e.g. on a worker
-                    # death) — the surviving workers' in-flight answers drain
-                    # here and must not be attributed to this batch.
-                    continue
-                if ok:
-                    wires[position] = payload
-                    if warm:
-                        self._warm_hits += 1
-                else:
-                    errors[position] = payload
-
-        if errors:
-            position, message = min(errors.items())
+        while not batch.done.wait(timeout=_RESULT_POLL_SECONDS):
+            if not self._collector.is_alive():  # pragma: no cover - defensive
+                raise ParallelError("the optimizer pool's collector thread died")
+        if batch.failure is not None:
+            raise ParallelError(batch.failure)
+        if batch.errors:
+            position, message = min(batch.errors.items())
             problem = problems[position]
             raise OptimizationError(
                 f"optimize_many failed on problem {position}"
@@ -239,22 +299,65 @@ class OptimizerPool:
         results = []
         for position, problem in enumerate(problems):
             source = first_position[payloads[position]] if dedup else position
-            results.append(result_from_wire(wires[source], problem))
+            results.append(result_from_wire(batch.wires[source], problem))
         return results
 
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict[str, int]:
         """Counters: tasks actually submitted to workers, and their warm-cache hits."""
-        with self._lock:
+        with self._state_lock:
             return {"tasks_submitted": self._tasks_submitted, "warm_hits": self._warm_hits}
 
-    def _check_workers(self) -> None:
-        dead = [process.name for process in self._processes if not process.is_alive()]
-        if dead:
-            raise ParallelError(
-                f"worker process(es) {', '.join(dead)} died with tasks outstanding"
-            )
+    # -- collector ---------------------------------------------------------
+
+    def _collect(self) -> None:
+        """Route worker answers to the batches that submitted them."""
+        while True:
+            try:
+                task_id, ok, payload, warm = self._results.get(timeout=_RESULT_POLL_SECONDS)
+            except queue.Empty:
+                if self._collector_stop.is_set():
+                    return
+                self._fail_pending_on_dead_workers()
+                continue
+            except (EOFError, OSError, ValueError):  # pragma: no cover - shutdown race
+                return
+            with self._state_lock:
+                batch = self._pending.pop(task_id, None)
+                if batch is None:
+                    # A straggler from a batch that aborted (worker death,
+                    # pool close) — must not be attributed to a live batch.
+                    continue
+                position = batch.position_of_task[task_id]
+                if ok:
+                    batch.wires[position] = payload
+                    if warm:
+                        batch.warm_hits += 1
+                        self._warm_hits += 1
+                else:
+                    batch.errors[position] = payload
+                batch.remaining -= 1
+                finished = batch.remaining == 0
+            if finished:
+                batch.done.set()
+
+    def _fail_pending_on_dead_workers(self) -> None:
+        with self._state_lock:
+            if not self._pending or self._closed:
+                return
+            dead = [process.name for process in self._processes if not process.is_alive()]
+            if not dead:
+                return
+            # Tasks queued to a dead worker are lost; every waiting batch
+            # would hang, so fail them all crisply (the pre-routing behaviour
+            # raised the same error from the waiting thread itself).
+            failed = set(self._pending.values())
+            self._pending.clear()
+        message = f"worker process(es) {', '.join(dead)} died with tasks outstanding"
+        for batch in failed:
+            batch.failure = message
+            batch.done.set()
 
 
 def optimize_many(

@@ -14,8 +14,11 @@ more.  Members are started through :func:`repro.parallel.pool.preferred_context`
 (``fork`` where available — member startup must stay cheap relative to
 sub-second budgets); forking from a heavily multi-threaded parent carries the
 usual CPython caveat about locks held by other threads at fork time, so a
-service that prefers safety over startup latency can pass a ``forkserver``
-context through its own plumbing (see ROADMAP open items).  The seed member still runs synchronously in the parent (the anytime
+service that prefers safety over startup latency sets
+:attr:`~repro.serving.portfolio.PortfolioOptions.mp_context` to
+``"forkserver"`` or ``"spawn"`` (plumbed from
+:class:`~repro.serving.service.PlanServiceConfig` and the CLI's
+``--mp-context``).  The seed member still runs synchronously in the parent (the anytime
 guarantee does not survive a process failure), and the returned
 :class:`~repro.serving.portfolio.PortfolioResult` is indistinguishable from
 the thread backend's — same best-result semantics, same error and timeout
@@ -79,7 +82,7 @@ def race_processes(
 
     stopwatch = Stopwatch().start()
     payload = problem_to_wire(problem)
-    context = preferred_context()
+    context = preferred_context(options.mp_context)
     result_queue = context.Queue()
 
     seed_name = options.algorithms[0]

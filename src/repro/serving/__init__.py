@@ -7,6 +7,9 @@ becomes a long-running service here:
   of :class:`~repro.core.problem.OrderingProblem` instances,
 * :mod:`repro.serving.cache` — thread-safe LRU + TTL plan cache with
   stale-while-revalidate and drift-based refresh,
+* :mod:`repro.serving.store` — the pluggable storage backends behind the
+  cache (:class:`LocalStore` in-proc, :class:`SharedStore` file-backed and
+  shareable across shard processes),
 * :mod:`repro.serving.portfolio` — deadline-budgeted races over the algorithm
   registry (greedy anytime seed, refined by beam search / branch-and-bound),
   on threads or on hard-cancellable processes (:mod:`repro.parallel`),
@@ -35,7 +38,7 @@ from repro.serving.fingerprint import (
     fingerprint_problem,
     quantize,
 )
-from repro.serving.http import PlanServer, response_to_dict, serve
+from repro.serving.http import PlanServer, response_from_dict, response_to_dict, serve
 from repro.serving.metrics import LatencySummary, ServingMetrics
 from repro.serving.portfolio import (
     DEFAULT_PORTFOLIO,
@@ -46,6 +49,7 @@ from repro.serving.portfolio import (
     run_portfolio,
 )
 from repro.serving.service import PlanResponse, PlanService, PlanServiceConfig
+from repro.serving.store import CacheStore, LocalStore, SharedStore
 
 __all__ = [
     "DEFAULT_PORTFOLIO",
@@ -53,8 +57,10 @@ __all__ = [
     "PORTFOLIO_BACKENDS",
     "CacheLookup",
     "CacheStats",
+    "CacheStore",
     "CachedPlan",
     "LatencySummary",
+    "LocalStore",
     "PlanCache",
     "PlanResponse",
     "PlanServer",
@@ -65,9 +71,11 @@ __all__ = [
     "PortfolioResult",
     "ProblemFingerprint",
     "ServingMetrics",
+    "SharedStore",
     "SingleFlight",
     "fingerprint_problem",
     "quantize",
+    "response_from_dict",
     "response_to_dict",
     "run_portfolio",
     "serve",

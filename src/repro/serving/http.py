@@ -17,6 +17,13 @@ third-party dependency:
   snapshot.
 * ``GET /healthz`` — liveness probe.
 
+The server binds anything with the service surface (``submit`` /
+``optimize_batch`` / ``stats``): a single
+:class:`~repro.serving.service.PlanService`, or a
+:class:`~repro.sharding.router.ShardRouter` fanning the same requests over N
+shards (``repro serve --shards N``) — ``/stats`` then reports the router's
+aggregated counters with a per-shard breakdown.
+
 Overload surfaces as HTTP 503 (admission control), malformed documents as
 HTTP 400; optimizer failures as HTTP 500.  Each connection is handled on its
 own thread (``ThreadingHTTPServer``), which is exactly the concurrency model
@@ -28,13 +35,20 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import TYPE_CHECKING, Any, Union
 
-from repro.exceptions import AdmissionError, InvalidProblemError, ReproError
+from repro.exceptions import AdmissionError, InvalidProblemError, ReproError, ServingError
 from repro.serialization import problem_from_dict
 from repro.serving.service import PlanResponse, PlanService
 
-__all__ = ["PlanServer", "response_to_dict", "serve"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (sharding imports us)
+    from repro.sharding.router import ShardRouter
+
+    PlanBackend = Union[PlanService, ShardRouter]
+else:
+    PlanBackend = PlanService
+
+__all__ = ["PlanServer", "response_from_dict", "response_to_dict", "serve"]
 
 
 def response_to_dict(response: PlanResponse) -> dict[str, Any]:
@@ -51,6 +65,30 @@ def response_to_dict(response: PlanResponse) -> dict[str, Any]:
         "latency_seconds": response.latency_seconds,
         "coalesced": response.coalesced,
     }
+
+
+def response_from_dict(document: dict[str, Any]) -> PlanResponse:
+    """Rebuild a :class:`PlanResponse` from :func:`response_to_dict` output.
+
+    This is how answers cross the shard-process boundary
+    (:mod:`repro.sharding.process`): flat primitives, never pickled object
+    graphs.
+    """
+    try:
+        return PlanResponse(
+            order=tuple(document["order"]),
+            service_names=tuple(document["services"]),
+            cost=float(document["cost"]),
+            algorithm=str(document["algorithm"]),
+            optimal=bool(document["optimal"]),
+            cache_hit=bool(document["cache_hit"]),
+            stale=bool(document["stale"]),
+            fingerprint=str(document["fingerprint"]),
+            latency_seconds=float(document["latency_seconds"]),
+            coalesced=bool(document.get("coalesced", False)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServingError(f"malformed plan-response document: {error}") from error
 
 
 def _validated_budget(document: dict[str, Any]) -> float | None:
@@ -169,11 +207,11 @@ class _PlanRequestHandler(BaseHTTPRequestHandler):
 
 
 class PlanServer(ThreadingHTTPServer):
-    """A :class:`ThreadingHTTPServer` bound to one :class:`PlanService`."""
+    """A :class:`ThreadingHTTPServer` bound to one service (or shard router)."""
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], plan_service: PlanService) -> None:
+    def __init__(self, address: tuple[str, int], plan_service: "PlanBackend") -> None:
         super().__init__(address, _PlanRequestHandler)
         self.plan_service = plan_service
 
@@ -185,7 +223,7 @@ class PlanServer(ThreadingHTTPServer):
 
 
 def serve(
-    plan_service: PlanService, host: str = "127.0.0.1", port: int = 8080
+    plan_service: "PlanBackend", host: str = "127.0.0.1", port: int = 8080
 ) -> PlanServer:
     """Bind a :class:`PlanServer` for ``plan_service`` (call ``serve_forever`` or
     :meth:`PlanServer.serve_in_background` on the result)."""

@@ -40,6 +40,7 @@ The race runs on one of two interchangeable backends
 from __future__ import annotations
 
 import concurrent.futures
+import multiprocessing
 import threading
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -84,6 +85,13 @@ class PortfolioOptions:
     ``"processes"`` (dedicated processes, stragglers terminated at the
     deadline)."""
 
+    mp_context: str | None = None
+    """Multiprocessing start method of the process backend (``"fork"`` /
+    ``"forkserver"`` / ``"spawn"``).  ``None`` keeps the cheap default
+    (``fork`` where available); a service that forks race members from a
+    heavily threaded parent can pick ``forkserver`` or ``spawn`` to trade
+    member startup latency for fork-with-threads safety."""
+
     def __post_init__(self) -> None:
         if not self.algorithms:
             raise ServingError("a portfolio needs at least one algorithm")
@@ -103,6 +111,13 @@ class PortfolioOptions:
                 f"unknown portfolio backend {self.backend!r}; "
                 f"available: {', '.join(PORTFOLIO_BACKENDS)}"
             )
+        if self.mp_context is not None:
+            methods = multiprocessing.get_all_start_methods()
+            if self.mp_context not in methods:
+                raise ServingError(
+                    f"unsupported mp_context {self.mp_context!r}; "
+                    f"available: {', '.join(methods)}"
+                )
 
 
 @dataclass(frozen=True)

@@ -40,8 +40,15 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.problem import OrderingProblem
-from repro.exceptions import AdmissionError, InvalidPlanError, ReproError, ServingError
+from repro.exceptions import (
+    AdmissionError,
+    InvalidPlanError,
+    OptimizationError,
+    ReproError,
+    ServingError,
+)
 from repro.serving.cache import CacheLookup, PlanCache, SingleFlight
+from repro.serving.store import CacheStore, SharedStore
 from repro.serving.fingerprint import (
     DEFAULT_PRECISION,
     ProblemFingerprint,
@@ -94,6 +101,19 @@ class PlanServiceConfig:
     latter terminates stragglers at the deadline, see
     :mod:`repro.parallel.race`)."""
 
+    mp_context: str | None = None
+    """Multiprocessing start method (``"fork"`` / ``"forkserver"`` /
+    ``"spawn"``) used by the process backend and the revalidation pool.
+    ``None`` keeps the cheap default (``fork`` where available); pick
+    ``forkserver`` or ``spawn`` to avoid forking from this service's threads
+    (the classic fork-with-threads caveat)."""
+
+    cache_store_dir: str | None = None
+    """Directory of a file-backed :class:`~repro.serving.store.SharedStore`
+    to keep cached plans in (``None`` keeps the in-process
+    :class:`~repro.serving.store.LocalStore`).  Several shard processes
+    pointing at one directory share warm plans."""
+
     max_in_flight: int = 8
     """Requests optimizing concurrently before new arrivals start queueing."""
 
@@ -101,7 +121,15 @@ class PlanServiceConfig:
     """Requests allowed to wait for a slot before admission control rejects."""
 
     revalidation_workers: int = 2
-    """Threads refreshing stale/drifted cache entries in the background."""
+    """Threads (or pool worker processes) refreshing stale/drifted cache
+    entries in the background."""
+
+    revalidation_backend: str = "threads"
+    """Where background refresh optimizations run: ``"threads"`` races the
+    portfolio on the service's own threads (sharing the request path's CPU),
+    ``"pool"`` routes the work through an :class:`~repro.parallel.pool.OptimizerPool`
+    of worker *processes*, so drift/staleness refresh never competes with
+    request-path optimization for the GIL."""
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -115,6 +143,11 @@ class PlanServiceConfig:
         if self.drift_threshold is not None and self.drift_threshold < 0:
             raise ServingError(
                 f"drift_threshold must be non-negative, got {self.drift_threshold!r}"
+            )
+        if self.revalidation_backend not in ("threads", "pool"):
+            raise ServingError(
+                f"unknown revalidation backend {self.revalidation_backend!r}; "
+                f"available: threads, pool"
             )
 
 
@@ -156,14 +189,30 @@ class PlanResponse:
 
 
 class PlanService:
-    """A long-running, cache-accelerated, admission-controlled plan server."""
+    """A long-running, cache-accelerated, admission-controlled plan server.
 
-    def __init__(self, config: PlanServiceConfig | None = None) -> None:
+    ``cache_store`` injects a storage backend for the plan cache (e.g. a
+    :class:`~repro.serving.store.SharedStore` shared with sibling shards);
+    when omitted, :attr:`PlanServiceConfig.cache_store_dir` may name a shared
+    directory, and the default is the in-process store.
+    """
+
+    def __init__(
+        self,
+        config: PlanServiceConfig | None = None,
+        *,
+        cache_store: "CacheStore | None" = None,
+    ) -> None:
         self.config = config if config is not None else PlanServiceConfig()
+        if cache_store is None and self.config.cache_store_dir is not None:
+            cache_store = SharedStore(
+                self.config.cache_store_dir, capacity=self.config.cache_capacity
+            )
         self.cache = PlanCache(
             capacity=self.config.cache_capacity,
             ttl=self.config.cache_ttl,
             stale_while_revalidate=self.config.stale_while_revalidate,
+            store=cache_store,
         )
         self.metrics = ServingMetrics()
         self._portfolio = PortfolioOptimizer(
@@ -172,6 +221,7 @@ class PlanService:
                 budget_seconds=self.config.budget_seconds,
                 algorithm_options=dict(self.config.algorithm_options),
                 backend=self.config.portfolio_backend,
+                mp_context=self.config.mp_context,
             ),
             max_workers=max(2 * len(self.config.algorithms), self.config.max_in_flight),
         )
@@ -184,6 +234,8 @@ class PlanService:
         )
         self._revalidating: set[str] = set()
         self._revalidating_lock = threading.Lock()
+        self._refresh_pool = None
+        self._refresh_pool_lock = threading.Lock()
         self._closed = threading.Event()
 
     # -- lifecycle ---------------------------------------------------------
@@ -193,6 +245,10 @@ class PlanService:
         self._closed.set()
         self._revalidator.shutdown(wait=False, cancel_futures=True)
         self._portfolio.close()
+        with self._refresh_pool_lock:
+            pool, self._refresh_pool = self._refresh_pool, None
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "PlanService":
         return self
@@ -203,10 +259,16 @@ class PlanService:
     # -- serving -----------------------------------------------------------
 
     def submit(
-        self, problem: OrderingProblem, budget_seconds: float | None = None
+        self,
+        problem: OrderingProblem,
+        budget_seconds: float | None = None,
+        fingerprint: ProblemFingerprint | None = None,
     ) -> PlanResponse:
         """Answer one plan request (blocking; safe to call from many threads).
 
+        ``fingerprint`` lets a caller that already fingerprinted the problem
+        (the shard router routes by it) skip the re-hash; it must have been
+        computed from ``problem`` at the service's configured precision.
         Raises :class:`~repro.exceptions.AdmissionError` when the service is
         over capacity and :class:`~repro.exceptions.ServingError` after
         :meth:`close`.
@@ -217,7 +279,7 @@ class PlanService:
         try:
             self._slots.acquire()
             try:
-                return self._answer(problem, budget_seconds)
+                return self._answer(problem, budget_seconds, fingerprint)
             finally:
                 self._slots.release()
         finally:
@@ -229,7 +291,10 @@ class PlanService:
         return [self.submit(problem) for problem in problems]
 
     def optimize_batch(
-        self, problems: Sequence[OrderingProblem], budget_seconds: float | None = None
+        self,
+        problems: Sequence[OrderingProblem],
+        budget_seconds: float | None = None,
+        fingerprints: Sequence[ProblemFingerprint] | None = None,
     ) -> list[PlanResponse]:
         """Answer a whole batch of requests as one bulk-compilation unit.
 
@@ -242,18 +307,24 @@ class PlanService:
         same fingerprint never optimize twice.  With the cache disabled every
         member optimizes cold — fingerprint identity is quantized, and
         ``cache_enabled=False`` is exactly the opt-out from
-        fingerprint-approximate answers (matching :meth:`submit`).  Raises on
-        the first failing optimization; order is preserved.
+        fingerprint-approximate answers (matching :meth:`submit`).
+        ``fingerprints`` (one per problem, at the configured precision) skips
+        the re-hash for callers that already fingerprinted the batch.  Raises
+        on the first failing optimization; order is preserved.
         """
         if self._closed.is_set():
             raise ServingError("the plan service has been closed")
         if not problems:
             return []
+        if fingerprints is not None and len(fingerprints) != len(problems):
+            raise ServingError(
+                f"got {len(fingerprints)} fingerprints for {len(problems)} problems"
+            )
         self._admit()
         try:
             self._slots.acquire()
             try:
-                return self._answer_batch(problems, budget_seconds)
+                return self._answer_batch(problems, budget_seconds, fingerprints)
             finally:
                 self._slots.release()
         finally:
@@ -272,8 +343,13 @@ class PlanService:
         """A JSON-ready snapshot of cache, request and admission statistics."""
         with self._pending_lock:
             pending = self._pending
+        assert self.cache.store is not None
         return {
-            "cache": {"size": len(self.cache), **self.cache.stats().as_dict()},
+            "cache": {
+                "size": len(self.cache),
+                **self.cache.stats().as_dict(),
+                "store": self.cache.store.stats(),
+            },
             "requests": self.metrics.snapshot(),
             "admission": {
                 "in_flight_limit": self.config.max_in_flight,
@@ -284,6 +360,8 @@ class PlanService:
                 "algorithms": list(self.config.algorithms),
                 "budget_seconds": self.config.budget_seconds,
                 "backend": self.config.portfolio_backend,
+                "mp_context": self.config.mp_context,
+                "revalidation_backend": self.config.revalidation_backend,
             },
         }
 
@@ -301,9 +379,15 @@ class PlanService:
                 )
             self._pending += 1
 
-    def _answer(self, problem: OrderingProblem, budget_seconds: float | None) -> PlanResponse:
+    def _answer(
+        self,
+        problem: OrderingProblem,
+        budget_seconds: float | None,
+        fingerprint: ProblemFingerprint | None = None,
+    ) -> PlanResponse:
         stopwatch = Stopwatch().start()
-        fingerprint = fingerprint_problem(problem, self.config.fingerprint_precision)
+        if fingerprint is None:
+            fingerprint = fingerprint_problem(problem, self.config.fingerprint_precision)
         if self.config.cache_enabled:
             cached = self._try_cached_response(problem, fingerprint, stopwatch)
             if cached is not None:
@@ -401,13 +485,17 @@ class PlanService:
         return (positions, algorithm, optimal, leader)
 
     def _answer_batch(
-        self, problems: Sequence[OrderingProblem], budget_seconds: float | None
+        self,
+        problems: Sequence[OrderingProblem],
+        budget_seconds: float | None,
+        fingerprints: Sequence[ProblemFingerprint] | None = None,
     ) -> list[PlanResponse]:
         responses: list[PlanResponse | None] = [None] * len(problems)
-        fingerprints = [
-            fingerprint_problem(problem, self.config.fingerprint_precision)
-            for problem in problems
-        ]
+        if fingerprints is None:
+            fingerprints = [
+                fingerprint_problem(problem, self.config.fingerprint_precision)
+                for problem in problems
+            ]
 
         # Pass 1: serve cache hits, group the misses by fingerprint key.  With
         # the cache disabled there is no grouping: fingerprint identity is
@@ -477,6 +565,15 @@ class PlanService:
         result = race.best
         if not self.config.cache_enabled:
             return result
+        self._cache_result(problem, result, fingerprint)
+        return result
+
+    def _cache_result(
+        self,
+        problem: OrderingProblem,
+        result,
+        fingerprint: ProblemFingerprint | None = None,
+    ) -> None:
         if fingerprint is None:
             fingerprint = fingerprint_problem(problem, self.config.fingerprint_precision)
         self.cache.put(
@@ -487,7 +584,6 @@ class PlanService:
             optimal=result.optimal,
             problem=problem,
         )
-        return result
 
     def _schedule_revalidation(self, problem: OrderingProblem, key: str) -> None:
         """Refresh one cache entry in the background, at most once at a time."""
@@ -500,7 +596,10 @@ class PlanService:
 
         def refresh() -> None:
             try:
-                self._optimize_and_cache(problem, None)
+                if self.config.revalidation_backend == "pool":
+                    self._refresh_via_pool(problem)
+                else:
+                    self._optimize_and_cache(problem, None)
             except ReproError:
                 pass  # The stale entry stays; the next request retries.
             finally:
@@ -513,3 +612,40 @@ class PlanService:
             # The executor is shutting down; drop the refresh.
             with self._revalidating_lock:
                 self._revalidating.discard(key)
+
+    def _refresh_via_pool(self, problem: OrderingProblem) -> None:
+        """Refresh one entry on the worker-process pool (off the request path).
+
+        A background refresh has no latency budget, so instead of racing the
+        whole portfolio it walks the ladder from the *strongest* member down:
+        the exact member alone already dominates the race's best whenever it
+        accepts the instance, and a member that refuses (size guard, bad
+        options) simply falls through to the next one.
+        """
+        pool = self._ensure_refresh_pool()
+        errors: list[str] = []
+        for name in reversed(self.config.algorithms):
+            options = dict(self.config.algorithm_options.get(name, {}))
+            try:
+                result = pool.optimize_many([problem], algorithm=name, options=options)[0]
+            except OptimizationError as error:
+                errors.append(str(error))
+                continue
+            self._cache_result(problem, result)
+            return
+        raise ServingError(
+            f"no portfolio member could refresh the entry on the pool: {'; '.join(errors)}"
+        )
+
+    def _ensure_refresh_pool(self):
+        with self._refresh_pool_lock:
+            if self._refresh_pool is None:
+                if self._closed.is_set():
+                    raise ServingError("the plan service has been closed")
+                from repro.parallel.pool import OptimizerPool
+
+                self._refresh_pool = OptimizerPool(
+                    workers=self.config.revalidation_workers,
+                    context=self.config.mp_context,
+                )
+            return self._refresh_pool

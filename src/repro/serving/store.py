@@ -1,0 +1,352 @@
+"""Pluggable storage backends behind :class:`~repro.serving.cache.PlanCache`.
+
+The cache separates *policy* from *storage*: :class:`PlanCache` keeps its
+TTL / stale-while-revalidate / drift semantics and counters, while the entry
+storage — the recency-ordered key → :class:`~repro.serving.cache.CachedPlan`
+map with LRU eviction — lives behind the small :class:`CacheStore` protocol:
+
+* ``get(key)`` / ``put(key, entry)`` / ``invalidate(key)`` — the KV surface;
+  ``put`` returns how many entries it evicted so the cache's counters stay
+  exact on any backend,
+* ``touch(key)`` — LRU promotion, split from ``get`` so the cache can decide
+  (expiry!) before refreshing recency,
+* ``scan()`` — every stored key, which is what the sharding tier's rebalance
+  measurements and aggregated stats iterate,
+* ``stats()`` — a backend-described stats hook merged into the cache's own.
+
+Two implementations ship:
+
+* :class:`LocalStore` — the in-process ``OrderedDict`` the cache always used,
+  now extracted; one lock, exact LRU order.
+* :class:`SharedStore` — a file-backed KV (one JSON document per entry,
+  atomic ``os.replace`` writes, recency tracked through file mtimes) that
+  several :class:`~repro.serving.service.PlanService` shard *processes* can
+  point at the same directory, so shards share warm plans and a rebalanced
+  key is warm on its new shard the moment it moves.  Writes are last-writer-
+  wins and unlink races are tolerated, which is exactly the cache's contract:
+  an entry may legally vanish between ``get`` and ``touch``.  Cross-process
+  recency is mtime-granular, so LRU order is approximate under concurrent
+  readers — evictions still happen, only their victim choice blurs.
+
+Entries round-trip through JSON (problems via
+:func:`repro.serialization.problem_to_dict`), never pickle: payloads stay
+inspectable on disk and survive interpreter upgrades.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.exceptions import ServingError
+from repro.serving.fingerprint import ProblemFingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (cache.py imports us)
+    from repro.serving.cache import CachedPlan
+
+__all__ = ["CacheStore", "LocalStore", "SharedStore"]
+
+_ENTRY_SUFFIX = ".plan.json"
+"""Filename suffix of one stored entry in a :class:`SharedStore` directory."""
+
+
+@runtime_checkable
+class CacheStore(Protocol):
+    """Storage protocol behind :class:`~repro.serving.cache.PlanCache`.
+
+    Implementations own recency ordering and capacity eviction; the cache
+    layers expiry, staleness and drift policy on top.
+    """
+
+    def get(self, key: str) -> "CachedPlan | None":
+        """The entry stored under ``key`` (no recency side effect), or ``None``."""
+        ...
+
+    def put(self, key: str, entry: "CachedPlan") -> int:
+        """Store ``entry`` under ``key`` (most recent); return entries evicted."""
+        ...
+
+    def invalidate(self, key: str, expected: "CachedPlan | None" = None) -> bool:
+        """Drop ``key``; return whether an entry was removed.
+
+        With ``expected``, only the entry previously returned by :meth:`get`
+        is dropped (compare-and-delete) — the caller's expiry decision must
+        not delete a *fresh* entry a concurrent ``put`` raced in.
+        """
+        ...
+
+    def touch(self, key: str) -> None:
+        """Mark ``key`` most recently used (no-op when it vanished meanwhile)."""
+        ...
+
+    def scan(self) -> list[str]:
+        """Every stored key (unspecified order)."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def stats(self) -> dict[str, object]:
+        """Backend-described stats hook (merged into the cache's counters)."""
+        ...
+
+
+class LocalStore:
+    """The in-process LRU store: one ``OrderedDict`` under one lock."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ServingError(f"store capacity must be at least 1, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def get(self, key: str) -> "CachedPlan | None":
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, entry: "CachedPlan") -> int:
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = entry
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            return evicted
+
+    def invalidate(self, key: str, expected: "CachedPlan | None" = None) -> bool:
+        with self._lock:
+            if expected is not None and self._entries.get(key) is not expected:
+                return False  # a fresh put raced in; keep it
+            return self._entries.pop(key, None) is not None
+
+    def touch(self, key: str) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+
+    def scan(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, object]:
+        return {"backend": "local", "capacity": self.capacity}
+
+
+def _entry_to_document(key: str, entry: "CachedPlan") -> dict[str, object]:
+    from repro.serialization import problem_to_dict
+
+    fingerprint = entry.fingerprint
+    return {
+        "v": 1,
+        "key": key,
+        "fingerprint": {
+            "digest": fingerprint.digest,
+            "precision": fingerprint.precision,
+            "size": fingerprint.size,
+            "canonical_order": list(fingerprint.canonical_order),
+        },
+        "positions": list(entry.positions),
+        "cost": entry.cost,
+        "algorithm": entry.algorithm,
+        "optimal": entry.optimal,
+        "problem": problem_to_dict(entry.problem),
+        "created_at": entry.created_at,
+    }
+
+
+def _entry_from_document(document: dict[str, object]) -> "tuple[str, CachedPlan]":
+    from repro.serialization import problem_from_dict
+    from repro.serving.cache import CachedPlan
+
+    if document.get("v") != 1:
+        raise ServingError(f"unsupported store entry version {document.get('v')!r}")
+    fp = document["fingerprint"]
+    fingerprint = ProblemFingerprint(
+        digest=fp["digest"],
+        precision=fp["precision"],
+        size=fp["size"],
+        canonical_order=tuple(fp["canonical_order"]),
+    )
+    entry = CachedPlan(
+        fingerprint=fingerprint,
+        positions=tuple(document["positions"]),
+        cost=float(document["cost"]),
+        algorithm=str(document["algorithm"]),
+        optimal=bool(document["optimal"]),
+        problem=problem_from_dict(document["problem"]),
+        created_at=float(document["created_at"]),
+    )
+    return str(document["key"]), entry
+
+
+class SharedStore:
+    """A file-backed KV store shareable by several shard processes.
+
+    One JSON document per entry under ``directory``; writes go through a
+    temporary file plus :func:`os.replace`, so a reader never observes a
+    half-written entry.  Recency is the file's mtime (``touch`` bumps it),
+    which makes LRU eviction approximate but multi-process coherent without
+    any cross-process lock.
+
+    The directory is *one* cache: ``capacity`` bounds the directory-wide
+    entry count (not per pointing process), and ``__len__`` / ``scan``
+    report directory-wide state — N shards over one directory share one
+    capacity and all see every entry, which is the point.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str], capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ServingError(f"store capacity must be at least 1, got {capacity!r}")
+        self.capacity = capacity
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.directory / f"{digest}{_ENTRY_SUFFIX}"
+
+    def _entry_paths(self) -> list[Path]:
+        return [path for path in self.directory.iterdir() if path.name.endswith(_ENTRY_SUFFIX)]
+
+    # -- CacheStore protocol -----------------------------------------------
+
+    def get(self, key: str) -> "CachedPlan | None":
+        document = self._read_document(self._path(key))
+        if document is None:
+            return None
+        try:
+            stored_key, entry = _entry_from_document(document)
+        except Exception:
+            # A malformed document (version skew, hand-edited file) is a
+            # plain miss.  No cleanup unlink: the next put replaces the file
+            # in place anyway, and an unconditional unlink here could race a
+            # concurrent fresh put under the same path and delete it.
+            return None
+        if stored_key != key:
+            return None  # hash-collision paranoia: never serve a foreign key
+        return entry
+
+    def put(self, key: str, entry: "CachedPlan") -> int:
+        payload = json.dumps(_entry_to_document(key, entry), separators=(",", ":"))
+        path = self._path(key)
+        with self._lock:
+            handle, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    stream.write(payload)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except FileNotFoundError:
+                    pass
+                raise
+            return self._evict_beyond_capacity(keep=path)
+
+    def invalidate(self, key: str, expected: "CachedPlan | None" = None) -> bool:
+        path = self._path(key)
+        if expected is not None:
+            # Best-effort compare-and-delete: re-read and match created_at so
+            # an expiry decision does not drop a fresh racing put.  A write
+            # landing between the check and the unlink is still lost — the
+            # cross-process window is inherent to a lockless file KV, and the
+            # cost is one redundant re-optimization, never a wrong answer.
+            current = self.get(key)
+            if current is None or current.created_at != expected.created_at:
+                return False
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return False
+        return True
+
+    def touch(self, key: str) -> None:
+        try:
+            os.utime(self._path(key))
+        except FileNotFoundError:
+            pass
+
+    def scan(self) -> list[str]:
+        keys = []
+        for path in self._entry_paths():
+            document = self._read_document(path)
+            if document is not None and "key" in document:
+                keys.append(str(document["key"]))
+        return keys
+
+    def clear(self) -> None:
+        for path in self._entry_paths():
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+
+    def __len__(self) -> int:
+        return len(self._entry_paths())
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "backend": "shared",
+            "capacity": self.capacity,
+            "directory": str(self.directory),
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _read_document(self, path: Path) -> dict[str, object] | None:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+        try:
+            document = json.loads(text)
+        except ValueError:
+            return None
+        return document if isinstance(document, dict) else None
+
+    def _evict_beyond_capacity(self, keep: Path) -> int:
+        entries = []
+        for path in self._entry_paths():
+            try:
+                entries.append((path.stat().st_mtime_ns, path))
+            except FileNotFoundError:
+                continue  # concurrently invalidated
+        excess = len(entries) - self.capacity
+        if excess <= 0:
+            return 0
+        evicted = 0
+        for _, path in sorted(entries, key=lambda item: item[0]):
+            if evicted >= excess:
+                break
+            if path == keep:
+                continue  # never evict the entry just written
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                continue
+            evicted += 1
+        return evicted

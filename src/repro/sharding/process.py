@@ -1,0 +1,259 @@
+"""Process-backed shards: one :class:`~repro.serving.service.PlanService` per child.
+
+An in-proc shard shares the parent's GIL, so N in-proc shards buy isolation
+and routing structure but not CPU.  A :class:`ProcessShard` moves the whole
+service — cache, portfolio, admission control — into its own OS process:
+
+* problems travel as the compact array payloads of
+  :func:`repro.serialization.problem_to_wire` (the wire codec that already
+  carries the optimizer pool's traffic), and answers come back as the flat
+  primitive documents of :func:`repro.serving.http.response_to_dict` — no
+  pickled object graphs in either direction;
+* inside the child, each request is handled on an executor thread, so one
+  shard process serves concurrent submissions exactly like the threaded
+  service does (admission control included);
+* the parent side multiplexes: any number of router threads may call
+  :meth:`ProcessShard.submit` / :meth:`ProcessShard.optimize_batch`
+  concurrently — a reader thread correlates answers to waiters by request id.
+
+Shard-side failures are re-raised in the parent with their original type
+where it matters (:class:`~repro.exceptions.AdmissionError` must keep
+meaning HTTP 503); a shard process dying fails its in-flight requests with
+:class:`~repro.exceptions.ShardingError` instead of hanging them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.core.problem import OrderingProblem
+from repro.exceptions import (
+    AdmissionError,
+    OptimizationError,
+    ReproError,
+    ServingError,
+    ShardingError,
+)
+from repro.parallel.pool import preferred_context
+from repro.serialization import problem_from_wire, problem_to_wire
+from repro.serving.http import response_from_dict, response_to_dict
+from repro.serving.service import PlanResponse, PlanService, PlanServiceConfig
+
+__all__ = ["ProcessShard"]
+
+_SHUTDOWN = None
+"""Sentinel the shard child interprets as 'drain and exit'."""
+
+_POLL_SECONDS = 0.25
+"""How often the parent's reader wakes to notice a dead shard process."""
+
+_ERROR_TYPES = {
+    "AdmissionError": AdmissionError,
+    "OptimizationError": OptimizationError,
+    "ServingError": ServingError,
+    "ShardingError": ShardingError,
+}
+"""Shard-side error types re-raised with their own class in the parent."""
+
+
+def _shard_service_main(requests, responses, config: PlanServiceConfig) -> None:
+    """Child entry point: serve requests until the shutdown sentinel."""
+    import signal
+
+    # A foreground Ctrl-C delivers SIGINT to the whole process group; shard
+    # shutdown is coordinated by the parent (sentinel, then terminate), so
+    # the child must not die mid-request with a KeyboardInterrupt traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    service = PlanService(config)
+    executor = ThreadPoolExecutor(
+        max_workers=config.max_in_flight + 2, thread_name_prefix="shard-request"
+    )
+
+    def handle(item) -> None:
+        kind, request_id = item[0], item[1]
+        try:
+            if kind == "submit":
+                _, _, payload, budget = item
+                response = service.submit(problem_from_wire(payload), budget_seconds=budget)
+                answer = response_to_dict(response)
+            elif kind == "batch":
+                _, _, payloads, budget = item
+                problems = [problem_from_wire(payload) for payload in payloads]
+                answer = [
+                    response_to_dict(response)
+                    for response in service.optimize_batch(problems, budget_seconds=budget)
+                ]
+            elif kind == "stats":
+                answer = service.stats()
+            elif kind == "keys":
+                answer = service.cache.keys()
+            else:
+                raise ShardingError(f"unknown shard operation {kind!r}")
+        except ReproError as error:
+            responses.put((request_id, False, (type(error).__name__, str(error))))
+        except Exception as error:  # noqa: BLE001 - a lost answer hangs the parent
+            # Anything escaping here (e.g. a TypeError from rejected
+            # algorithm options) must still produce a response: the parent's
+            # waiter has no timeout and the process stays alive, so a
+            # swallowed exception would hang the router thread forever.
+            responses.put(
+                (request_id, False, ("ShardingError", f"{type(error).__name__}: {error}"))
+            )
+        else:
+            responses.put((request_id, True, answer))
+
+    while True:
+        item = requests.get()
+        if item is _SHUTDOWN or item is None:
+            break
+        executor.submit(handle, item)
+    executor.shutdown(wait=True)
+    service.close()
+
+
+class _Waiter:
+    """One parent-side caller blocked on a shard answer."""
+
+    __slots__ = ("done", "ok", "payload")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.ok = False
+        self.payload: object = None
+
+
+class ProcessShard:
+    """A :class:`PlanService` running in a dedicated child process."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        config: PlanServiceConfig,
+        mp_context: str | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        context = preferred_context(mp_context)
+        self._requests = context.Queue()
+        self._responses = context.Queue()
+        self._process = context.Process(
+            target=_shard_service_main,
+            args=(self._requests, self._responses, config),
+            daemon=True,
+            name=f"plan-shard-{shard_id}",
+        )
+        self._process.start()
+        self._lock = threading.Lock()
+        self._next_request_id = 0
+        self._waiters: dict[int, _Waiter] = {}
+        self._closed = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_responses, name=f"shard-reader-{shard_id}", daemon=True
+        )
+        self._reader.start()
+
+    # -- shard surface (duck-typed like PlanService) -----------------------
+
+    def submit(
+        self,
+        problem: OrderingProblem,
+        budget_seconds: float | None = None,
+        fingerprint: object | None = None,
+    ) -> PlanResponse:
+        # ``fingerprint`` is accepted for surface parity with in-proc shards
+        # but not shipped: the child re-fingerprints in its own process.
+        document = self._call(("submit", problem_to_wire(problem), budget_seconds))
+        return response_from_dict(document)
+
+    def optimize_batch(
+        self,
+        problems: Sequence[OrderingProblem],
+        budget_seconds: float | None = None,
+        fingerprints: Sequence[object] | None = None,
+    ) -> list[PlanResponse]:
+        if not problems:
+            return []
+        payloads = [problem_to_wire(problem) for problem in problems]
+        documents = self._call(("batch", payloads, budget_seconds))
+        return [response_from_dict(document) for document in documents]
+
+    def stats(self) -> dict[str, object]:
+        return self._call(("stats",))
+
+    def cache_keys(self) -> list[str]:
+        return self._call(("keys",))
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the shard process (idempotent); stragglers are terminated."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._requests.put(_SHUTDOWN)
+        except (OSError, ValueError):  # pragma: no cover - queue already torn down
+            pass
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=timeout)
+        self._fail_waiters("the shard was closed with requests in flight")
+        self._reader.join(timeout=timeout + _POLL_SECONDS)
+        self._requests.close()
+        self._responses.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _call(self, operation: tuple):
+        """Send one operation to the shard and block for its answer."""
+        if self._closed.is_set():
+            raise ShardingError(f"shard {self.shard_id!r} has been closed")
+        waiter = _Waiter()
+        with self._lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._waiters[request_id] = waiter
+        kind, *rest = operation
+        self._requests.put((kind, request_id, *rest))
+        waiter.done.wait()
+        if waiter.ok:
+            return waiter.payload
+        error_type, message = waiter.payload  # type: ignore[misc]
+        raise _ERROR_TYPES.get(error_type, ShardingError)(
+            f"shard {self.shard_id!r}: {message}"
+        )
+
+    def _read_responses(self) -> None:
+        """Correlate shard answers to waiters; fail them if the shard dies."""
+        while True:
+            try:
+                request_id, ok, payload = self._responses.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if self._closed.is_set():
+                    return
+                if not self._process.is_alive():
+                    self._fail_waiters(
+                        f"shard process died (exit code {self._process.exitcode})"
+                    )
+                    # Stay alive to fail future _call registrations too, until
+                    # close() is called; they would otherwise hang forever.
+                continue
+            except (EOFError, OSError, ValueError):  # pragma: no cover - shutdown race
+                self._fail_waiters("the shard's response channel closed")
+                return
+            with self._lock:
+                waiter = self._waiters.pop(request_id, None)
+            if waiter is None:
+                continue
+            waiter.ok = ok
+            waiter.payload = payload
+            waiter.done.set()
+
+    def _fail_waiters(self, message: str) -> None:
+        with self._lock:
+            waiters, self._waiters = dict(self._waiters), {}
+        for waiter in waiters.values():
+            waiter.ok = False
+            waiter.payload = ("ShardingError", message)
+            waiter.done.set()

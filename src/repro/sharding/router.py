@@ -1,0 +1,326 @@
+"""The :class:`ShardRouter`: one serving surface over N `PlanService` shards.
+
+The router is the seam the scale-out architecture plugs into: it exposes the
+same duck-typed surface as a single :class:`~repro.serving.service.PlanService`
+(``submit`` / ``optimize_batch`` / ``stats`` / ``close``), so the HTTP front
+end and the CLI bind to either interchangeably, while behind it
+
+* every request is **routed by fingerprint key** over a consistent-hash ring
+  (:mod:`repro.sharding.ring`) — structurally identical problems always land
+  on the same shard, so each shard's cache and single-flight keep their full
+  effectiveness and no plan is optimized on two shards;
+* **batches are split per shard** and fanned out concurrently, each sub-batch
+  answered through the shard's own bulk path (one admission, per-batch
+  fingerprint dedup), and the responses re-merged in request order;
+* shards are **in-proc** (`backend="inproc"`: N services in this process —
+  routing structure and cache isolation, one GIL) or **processes**
+  (`backend="processes"`: each shard is its own OS process behind the wire
+  codec, so cold optimization scales across cores);
+* :meth:`ShardRouter.add_shard` / :meth:`ShardRouter.remove_shard` resize the
+  tier live; consistent hashing keeps movement to ~1/N of the key space, and
+  a :class:`~repro.serving.store.SharedStore` (``shared_cache_dir``) makes
+  even the moved keys warm on their new shard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.problem import OrderingProblem
+from repro.exceptions import ShardingError
+from repro.serving.fingerprint import fingerprint_problem
+from repro.serving.service import PlanResponse, PlanService, PlanServiceConfig
+from repro.serving.store import SharedStore
+from repro.sharding.process import ProcessShard
+from repro.sharding.ring import DEFAULT_VIRTUAL_NODES, HashRing
+
+__all__ = ["SHARD_BACKENDS", "ShardRouterConfig", "ShardRouter"]
+
+SHARD_BACKENDS = ("inproc", "processes")
+"""Supported shard backends (same process vs one OS process per shard)."""
+
+
+@dataclass(frozen=True)
+class ShardRouterConfig:
+    """Tunables of a :class:`ShardRouter`."""
+
+    shards: int = 2
+    """Number of shards started up front (resizable live via
+    :meth:`ShardRouter.add_shard` / :meth:`ShardRouter.remove_shard`)."""
+
+    backend: str = "inproc"
+    """``"inproc"`` (N services in this process) or ``"processes"`` (one OS
+    process per shard, requests crossing via the wire codec)."""
+
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    """Ring points per shard (see :class:`~repro.sharding.ring.HashRing`)."""
+
+    service_config: PlanServiceConfig = field(default_factory=PlanServiceConfig)
+    """Configuration every shard's :class:`PlanService` is built from (its
+    ``mp_context`` also picks the start method of process shards)."""
+
+    shared_cache_dir: str | None = None
+    """Directory of a :class:`~repro.serving.store.SharedStore` all shards
+    point at, so warm plans survive rebalances and are shared across shards;
+    ``None`` gives each shard its own in-process store.  The directory is
+    one cache — its capacity bounds the *tier's* entries, and every shard's
+    ``cache`` size/keys report the shared directory."""
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ShardingError(f"a router needs at least 1 shard, got {self.shards!r}")
+        if self.backend not in SHARD_BACKENDS:
+            raise ShardingError(
+                f"unknown shard backend {self.backend!r}; "
+                f"available: {', '.join(SHARD_BACKENDS)}"
+            )
+
+
+class _InProcShard:
+    """A shard living in the router's own process."""
+
+    def __init__(self, shard_id: str, config: ShardRouterConfig) -> None:
+        self.shard_id = shard_id
+        store = (
+            SharedStore(
+                config.shared_cache_dir, capacity=config.service_config.cache_capacity
+            )
+            if config.shared_cache_dir is not None
+            else None
+        )
+        self.service = PlanService(config.service_config, cache_store=store)
+
+    def submit(self, problem, budget_seconds=None, fingerprint=None) -> PlanResponse:
+        return self.service.submit(
+            problem, budget_seconds=budget_seconds, fingerprint=fingerprint
+        )
+
+    def optimize_batch(
+        self, problems, budget_seconds=None, fingerprints=None
+    ) -> list[PlanResponse]:
+        return self.service.optimize_batch(
+            problems, budget_seconds=budget_seconds, fingerprints=fingerprints
+        )
+
+    def stats(self) -> dict[str, object]:
+        return self.service.stats()
+
+    def cache_keys(self) -> list[str]:
+        return self.service.cache.keys()
+
+    def close(self) -> None:
+        self.service.close()
+
+
+class ShardRouter:
+    """Routes plan requests over N shards by consistent-hashed fingerprint."""
+
+    def __init__(self, config: ShardRouterConfig | None = None) -> None:
+        self.config = config if config is not None else ShardRouterConfig()
+        self._ring = HashRing(virtual_nodes=self.config.virtual_nodes)
+        self._shards: dict[str, object] = {}
+        self._next_shard_index = 0
+        # Guards ring + shard-map mutation (resize); request routing only
+        # reads under it briefly, never across an optimization.
+        self._lock = threading.RLock()
+        self._closed = threading.Event()
+        try:
+            for _ in range(self.config.shards):
+                self.add_shard()
+        except BaseException:
+            # A failed startup (e.g. the 3rd of 4 shard processes refusing
+            # to spawn) must not leak the shards already running.
+            for shard in self._shards.values():
+                shard.close()
+            raise
+        self._fanout = ThreadPoolExecutor(
+            max_workers=max(4, 2 * self.config.shards), thread_name_prefix="shard-fanout"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every shard (idempotent)."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._fanout.shutdown(wait=False, cancel_futures=True)
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return self._ring.nodes
+
+    def shard_for(self, key: str) -> str:
+        """The shard id owning fingerprint cache key ``key``."""
+        with self._lock:
+            return self._ring.node_for(key)
+
+    def add_shard(self) -> str:
+        """Start one more shard and place it on the ring; returns its id."""
+        if self._closed.is_set():
+            raise ShardingError("the shard router has been closed")
+        with self._lock:
+            shard_id = f"shard-{self._next_shard_index}"
+            self._next_shard_index += 1
+            shard = self._build_shard(shard_id)
+            self._shards[shard_id] = shard
+            self._ring.add_node(shard_id)
+            return shard_id
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Take ``shard_id`` off the ring and shut it down."""
+        with self._lock:
+            if shard_id not in self._shards:
+                raise ShardingError(f"unknown shard {shard_id!r}")
+            if len(self._shards) == 1:
+                raise ShardingError("cannot remove the last shard")
+            self._ring.remove_node(shard_id)
+            shard = self._shards.pop(shard_id)
+        shard.close()
+
+    def _build_shard(self, shard_id: str):
+        if self.config.backend == "processes":
+            service_config = self.config.service_config
+            if self.config.shared_cache_dir is not None:
+                # The child builds its own SharedStore over the same directory.
+                service_config = dataclasses.replace(
+                    service_config, cache_store_dir=self.config.shared_cache_dir
+                )
+            return ProcessShard(
+                shard_id, service_config, mp_context=service_config.mp_context
+            )
+        return _InProcShard(shard_id, self.config)
+
+    # -- serving surface (duck-typed like PlanService) ---------------------
+
+    def submit(
+        self, problem: OrderingProblem, budget_seconds: float | None = None
+    ) -> PlanResponse:
+        """Answer one request on the shard owning the problem's fingerprint."""
+        if self._closed.is_set():
+            raise ShardingError("the shard router has been closed")
+        fingerprint = fingerprint_problem(
+            problem, self.config.service_config.fingerprint_precision
+        )
+        with self._lock:
+            shard = self._shards[self._ring.node_for(fingerprint.key)]
+        # The fingerprint travels along so an in-proc shard's service skips
+        # the re-hash (a process shard recomputes in its own process).
+        return shard.submit(problem, budget_seconds=budget_seconds, fingerprint=fingerprint)
+
+    def optimize_batch(
+        self, problems: Sequence[OrderingProblem], budget_seconds: float | None = None
+    ) -> list[PlanResponse]:
+        """Split a batch per owning shard, fan out, re-merge in request order."""
+        if self._closed.is_set():
+            raise ShardingError("the shard router has been closed")
+        if not problems:
+            return []
+        precision = self.config.service_config.fingerprint_precision
+        # Fingerprinting is O(batch) hashing work — do it before taking the
+        # lock, which only guards the ring/shard-map snapshot.
+        fingerprints = [fingerprint_problem(problem, precision) for problem in problems]
+        groups: dict[str, list[int]] = {}
+        with self._lock:
+            for index, fingerprint in enumerate(fingerprints):
+                groups.setdefault(self._ring.node_for(fingerprint.key), []).append(index)
+            shards = {shard_id: self._shards[shard_id] for shard_id in groups}
+
+        futures = {
+            shard_id: self._fanout.submit(
+                shards[shard_id].optimize_batch,
+                [problems[index] for index in indices],
+                budget_seconds,
+                [fingerprints[index] for index in indices],
+            )
+            for shard_id, indices in groups.items()
+        }
+        responses: list[PlanResponse | None] = [None] * len(problems)
+        first_error: BaseException | None = None
+        for shard_id, indices in sorted(groups.items()):
+            try:
+                shard_responses = futures[shard_id].result()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+                continue
+            for index, response in zip(indices, shard_responses):
+                responses[index] = response
+        if first_error is not None:
+            raise first_error
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Aggregated counters across shards, plus the per-shard breakdown."""
+        with self._lock:
+            shards = dict(self._shards)
+        per_shard = {shard_id: shard.stats() for shard_id, shard in sorted(shards.items())}
+        # With a shared store every shard reports the same directory, so its
+        # size must be counted once, not once per shard.
+        store_views = {
+            json.dumps(stats["cache"].get("store", {}), sort_keys=True)
+            for stats in per_shard.values()
+        }
+        shared_single_store = len(per_shard) > 1 and len(store_views) == 1 and (
+            next(iter(per_shard.values()))["cache"].get("store", {}).get("backend")
+            == "shared"
+        )
+        cache_totals: dict[str, float] = {}
+        request_totals = {"answered": 0, "rejected": 0, "failed": 0, "coalesced": 0}
+        by_source: dict[str, int] = {}
+        for shard_index, stats in enumerate(per_shard.values()):
+            for counter, value in stats["cache"].items():
+                if not isinstance(value, (int, float)) or counter == "hit_rate":
+                    continue
+                if counter == "size" and shared_single_store and shard_index > 0:
+                    continue  # every shard reports the same shared directory
+                cache_totals[counter] = cache_totals.get(counter, 0) + value
+            requests = stats["requests"]
+            for counter in request_totals:
+                request_totals[counter] += requests[counter]
+            for source, count in requests["by_source"].items():
+                by_source[source] = by_source.get(source, 0) + count
+        lookups = (
+            cache_totals.get("hits", 0)
+            + cache_totals.get("stale_hits", 0)
+            + cache_totals.get("misses", 0)
+        )
+        cache_totals["hit_rate"] = (
+            (cache_totals.get("hits", 0) + cache_totals.get("stale_hits", 0)) / lookups
+            if lookups
+            else 0.0
+        )
+        return {
+            "shards": len(per_shard),
+            "backend": self.config.backend,
+            "cache": cache_totals,
+            "requests": {**request_totals, "by_source": by_source},
+            "per_shard": per_shard,
+        }
+
+    def cache_keys(self) -> dict[str, list[str]]:
+        """Every shard's cached fingerprint keys (rebalance measurements)."""
+        with self._lock:
+            shards = dict(self._shards)
+        return {shard_id: shard.cache_keys() for shard_id, shard in sorted(shards.items())}

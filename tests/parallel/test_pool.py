@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core import optimize
 from repro.exceptions import OptimizationError, ParallelError
-from repro.parallel import OptimizerPool
+from repro.parallel import OptimizerPool, preferred_context
 from repro.parallel import optimize_many as optimize_many_oneshot
 
 
@@ -84,6 +86,74 @@ class TestOptimizeMany:
             assert stats["warm_hits"] == 1
 
 
+class TestConcurrentBatches:
+    def test_a_small_batch_overtakes_a_long_running_one(self, make_random_problem):
+        """Satellite acceptance: optimize_many no longer serialises callers.
+
+        With the pre-routing single lock, a tiny batch submitted while a slow
+        batch compiled had to wait for the whole slow batch to return.  With
+        per-batch task routing it only needs a free worker.
+        """
+        # A deliberately slow task (~1s on the kernel): precedence-free
+        # exhaustive enumeration of a pruning-resistant 9-service instance.
+        slow_problem = make_random_problem(9, 0, selectivity_range=(0.9, 1.0))
+        fast_problem = make_random_problem(4, 1)
+        slow_done = threading.Event()
+        errors = []
+
+        with OptimizerPool(workers=2) as pool:
+            def run_slow():
+                try:
+                    pool.optimize_many(
+                        [slow_problem], algorithm="exhaustive", options={"max_size": 9}
+                    )
+                except Exception as error:  # pragma: no cover - surfaced below
+                    errors.append(error)
+                finally:
+                    slow_done.set()
+
+            slow_thread = threading.Thread(target=run_slow)
+            slow_thread.start()
+            try:
+                # stats() must answer while the slow batch is in flight ...
+                assert pool.stats()["tasks_submitted"] <= 1
+                # ... and a concurrent small batch must complete before it.
+                results = pool.optimize_many([fast_problem], algorithm="greedy_min_term")
+                overtook = not slow_done.is_set()
+                assert results[0].algorithm == "greedy_min_term"
+            finally:
+                slow_thread.join(timeout=60.0)
+            assert not errors
+            assert overtook, "the small batch waited for the slow batch to finish"
+
+    def test_many_threads_submit_correct_batches(self, make_random_problem):
+        problems = [make_random_problem(5, seed) for seed in range(6)]
+        expected = [optimize(problem, algorithm="branch_and_bound") for problem in problems]
+        outcomes: dict[int, list] = {}
+        errors = []
+
+        with OptimizerPool(workers=2) as pool:
+            def run(thread_index: int) -> None:
+                try:
+                    outcomes[thread_index] = pool.optimize_many(
+                        problems, algorithm="branch_and_bound"
+                    )
+                except Exception as error:  # pragma: no cover - surfaced below
+                    errors.append(error)
+
+            threads = [threading.Thread(target=run, args=(index,)) for index in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+
+        assert not errors
+        assert set(outcomes) == {0, 1, 2, 3}
+        for results in outcomes.values():
+            assert [r.cost for r in results] == [r.cost for r in expected]
+            assert [r.order for r in results] == [r.order for r in expected]
+
+
 class TestLifecycle:
     def test_closed_pool_rejects_batches(self, make_random_problem):
         pool = OptimizerPool(workers=1)
@@ -102,6 +172,21 @@ class TestLifecycle:
         problems = [make_random_problem(5, seed) for seed in range(2)]
         results = optimize_many_oneshot(problems, algorithm="greedy_min_term", workers=1)
         assert [result.algorithm for result in results] == ["greedy_min_term"] * 2
+
+
+class TestMpContext:
+    def test_preferred_context_accepts_a_start_method_name(self):
+        assert preferred_context("spawn").get_start_method() == "spawn"
+        with pytest.raises(ParallelError):
+            preferred_context("no-such-method")
+
+    def test_pool_runs_on_a_spawn_context(self, make_random_problem):
+        """The fork-with-threads caveat's escape hatch: a spawn-backed pool."""
+        with OptimizerPool(workers=1, context="spawn") as pool:
+            results = pool.optimize_many(
+                [make_random_problem(4, 0)], algorithm="greedy_min_term"
+            )
+        assert results[0].algorithm == "greedy_min_term"
 
 
 class TestExperimentIntegration:

@@ -93,10 +93,10 @@ class TestAdmissionControl:
 
             original = plan_service._answer
 
-            def slow_answer(problem, budget):
+            def slow_answer(problem, budget, fingerprint=None):
                 entered.set()
                 release.wait(timeout=5.0)
-                return original(problem, budget)
+                return original(problem, budget, fingerprint)
 
             plan_service._answer = slow_answer
             with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:

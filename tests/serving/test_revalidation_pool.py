@@ -1,0 +1,128 @@
+"""Tests of pool-backed background revalidation and mp-context plumbing.
+
+Satellite acceptance: with ``revalidation_backend="pool"``, drift/staleness
+refresh optimizations run on :class:`~repro.parallel.pool.OptimizerPool`
+worker processes instead of service threads, keeping refresh CPU off the
+request path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import (
+    PlanService,
+    PlanServiceConfig,
+    PortfolioOptions,
+    fingerprint_problem,
+    run_portfolio,
+)
+
+
+def wait_for(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestPoolRevalidation:
+    def test_stale_entry_is_refreshed_on_the_worker_pool(self, four_service_problem):
+        config = PlanServiceConfig(
+            budget_seconds=None,
+            cache_ttl=0.05,
+            stale_while_revalidate=True,
+            revalidation_backend="pool",
+            revalidation_workers=1,
+            drift_threshold=None,
+        )
+        with PlanService(config) as service:
+            cold = service.submit(four_service_problem)
+            assert not cold.cache_hit
+            time.sleep(0.08)  # let the TTL lapse
+            stale = service.submit(four_service_problem)
+            assert stale.cache_hit and stale.stale
+
+            key = fingerprint_problem(four_service_problem).key
+            assert wait_for(lambda: key not in service._revalidating)
+            assert wait_for(lambda: service.cache.stats().insertions >= 2)
+            # The refresh ran on the pool, not on a service thread.
+            assert service._refresh_pool is not None
+            assert service._refresh_pool.stats()["tasks_submitted"] >= 1
+            # The refreshed entry came from the strongest ladder member and
+            # the next request is a fresh hit again.
+            refreshed = service.submit(four_service_problem)
+            assert refreshed.cache_hit and not refreshed.stale
+            assert refreshed.algorithm == config.algorithms[-1]
+
+    def test_refresh_walks_the_ladder_past_refusing_members(self, four_service_problem):
+        config = PlanServiceConfig(
+            budget_seconds=None,
+            cache_ttl=0.05,
+            stale_while_revalidate=True,
+            revalidation_backend="pool",
+            revalidation_workers=1,
+            drift_threshold=None,
+            algorithms=("greedy_min_term", "exhaustive"),
+            # The strongest member refuses the instance size; the refresh
+            # must fall through to the next ladder member, not give up.
+            algorithm_options={"exhaustive": {"max_size": 2}},
+        )
+        with PlanService(config) as service:
+            service.submit(four_service_problem)
+            time.sleep(0.08)
+            stale = service.submit(four_service_problem)
+            assert stale.stale
+            assert wait_for(lambda: service.cache.stats().insertions >= 2)
+            refreshed = service.submit(four_service_problem)
+            assert refreshed.cache_hit
+            assert refreshed.algorithm == "greedy_min_term"
+
+    def test_threads_backend_never_builds_a_pool(self, four_service_problem):
+        config = PlanServiceConfig(
+            budget_seconds=None,
+            cache_ttl=0.05,
+            stale_while_revalidate=True,
+            revalidation_backend="threads",
+            drift_threshold=None,
+        )
+        with PlanService(config) as service:
+            service.submit(four_service_problem)
+            time.sleep(0.08)
+            assert service.submit(four_service_problem).stale
+            assert wait_for(lambda: service.cache.stats().insertions >= 2)
+            assert service._refresh_pool is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ServingError):
+            PlanServiceConfig(revalidation_backend="carrier-pigeon")
+
+
+class TestMpContextPlumbing:
+    def test_portfolio_options_validate_the_method(self):
+        with pytest.raises(ServingError):
+            PortfolioOptions(mp_context="no-such-method")
+
+    def test_process_race_runs_on_a_spawn_context(self, four_service_problem):
+        """The fork-with-threads caveat's escape hatch, end to end."""
+        options = PortfolioOptions(
+            algorithms=("greedy_min_term", "branch_and_bound"),
+            budget_seconds=None,
+            backend="processes",
+            mp_context="spawn",
+        )
+        race = run_portfolio(four_service_problem, options)
+        assert "branch_and_bound" in race.results
+        assert race.best.cost <= race.results["greedy_min_term"].cost + 1e-12
+
+    def test_service_config_forwards_the_context(self, four_service_problem):
+        config = PlanServiceConfig(budget_seconds=None, mp_context="spawn")
+        with PlanService(config) as service:
+            assert service._portfolio.options.mp_context == "spawn"
+            assert service.stats()["portfolio"]["mp_context"] == "spawn"
+            assert not service.submit(four_service_problem).cache_hit

@@ -151,6 +151,83 @@ class TestStampede:
             assert service.metrics.snapshot()["coalesced"] == herd - 1
 
 
+class TestShardedStampede:
+    def test_concurrent_misses_through_the_router_optimize_once(self, four_service_problem):
+        """Satellite acceptance: a herd through the shard router still coalesces.
+
+        Consistent-hash routing sends every request for one fingerprint to the
+        same shard, so that shard's single-flight must absorb the whole herd —
+        exactly one optimization across the entire tier.
+        """
+        from repro.sharding import ShardRouter, ShardRouterConfig
+
+        herd = 8
+        config = ShardRouterConfig(
+            shards=3,
+            backend="inproc",
+            service_config=PlanServiceConfig(
+                budget_seconds=None, max_in_flight=herd, queue_depth=herd
+            ),
+        )
+        with ShardRouter(config) as router:
+            key = fingerprint_problem(four_service_problem).key
+            owner = router.shard_for(key)
+            owner_service = router._shards[owner].service
+            optimize_calls = []
+            calls_lock = threading.Lock()
+
+            for shard_id, shard in router._shards.items():
+                service = shard.service
+                original = service._portfolio.optimize
+
+                def counting_optimize(
+                    problem,
+                    budget_seconds=None,
+                    _original=original,
+                    _shard_id=shard_id,
+                ):
+                    with calls_lock:
+                        optimize_calls.append(_shard_id)
+                    # Hold the leader until the rest of the herd has piled
+                    # onto the owning shard's flight (bounded, in case of a
+                    # regression where followers optimize instead of waiting).
+                    limit = time.time() + 5.0
+                    while (
+                        owner_service._single_flight.waiting(key) < herd - 1
+                        and time.time() < limit
+                    ):
+                        time.sleep(0.001)
+                    return _original(problem, budget_seconds=budget_seconds)
+
+                service._portfolio.optimize = counting_optimize
+
+            barrier = threading.Barrier(herd)
+            responses = []
+            responses_lock = threading.Lock()
+
+            def request():
+                barrier.wait(timeout=5.0)
+                response = router.submit(four_service_problem)
+                with responses_lock:
+                    responses.append(response)
+
+            threads = [threading.Thread(target=request) for _ in range(herd)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+            assert len(responses) == herd
+            assert optimize_calls == [owner], (
+                "the whole herd must coalesce onto one optimization on the "
+                "owning shard"
+            )
+            assert len({response.cost for response in responses}) == 1
+            assert len({response.order for response in responses}) == 1
+            assert sum(1 for r in responses if not r.cache_hit and not r.coalesced) == 1
+            assert owner_service.metrics.coalesced == herd - 1
+
+
 class TestOptimizeBatch:
     def test_batch_deduplicates_structural_twins(self, make_random_problem):
         problems = [make_random_problem(5, seed) for seed in range(3)]

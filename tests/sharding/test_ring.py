@@ -1,0 +1,142 @@
+"""Property tests of the consistent-hash ring.
+
+The two load-bearing guarantees are asserted *exactly*, not statistically:
+
+* resizing moves only the keys it must — adding a node steals keys only
+  *for the new node* (no key moves between two old nodes), removing a node
+  relocates only *that node's* keys;
+
+and the statistical ones with deliberate slack:
+
+* movement volume on resize stays near the ideal ``K/(N+1)``;
+* load spreads over nodes within a constant factor of ideal.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShardingError
+from repro.sharding import HashRing
+
+KEYS = [f"key-{index:04d}" for index in range(2000)]
+
+
+def node_ids(count: int) -> list[str]:
+    return [f"shard-{index}" for index in range(count)]
+
+
+class TestBasics:
+    def test_placement_is_deterministic_across_instances(self):
+        first = HashRing(node_ids(5))
+        second = HashRing(node_ids(5))
+        assert first.placement(KEYS) == second.placement(KEYS)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert set(ring.placement(KEYS).values()) == {"only"}
+
+    def test_nodes_are_sorted_and_membership_works(self):
+        ring = HashRing(["b", "a", "c"])
+        assert ring.nodes == ("a", "b", "c")
+        assert "a" in ring and "z" not in ring
+        assert len(ring) == 3
+
+    def test_empty_ring_rejects_lookups(self):
+        with pytest.raises(ShardingError):
+            HashRing().node_for("key")
+
+    def test_duplicate_and_unknown_nodes_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ShardingError):
+            ring.add_node("a")
+        with pytest.raises(ShardingError):
+            ring.remove_node("b")
+        with pytest.raises(ShardingError):
+            ring.add_node("")
+        with pytest.raises(ShardingError):
+            HashRing(virtual_nodes=0)
+
+    def test_insertion_order_does_not_matter(self):
+        forward = HashRing(node_ids(6))
+        backward = HashRing(reversed(node_ids(6)))
+        assert forward.placement(KEYS) == backward.placement(KEYS)
+
+
+class TestResizeMovement:
+    @given(nodes=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_adding_a_node_moves_keys_only_onto_it(self, nodes):
+        """Exact consistent-hashing property: old nodes never trade keys."""
+        ring = HashRing(node_ids(nodes))
+        before = ring.placement(KEYS)
+        ring.add_node("newcomer")
+        after = ring.placement(KEYS)
+        moved = [key for key in KEYS if before[key] != after[key]]
+        assert all(after[key] == "newcomer" for key in moved)
+
+    @given(nodes=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_removing_a_node_moves_only_its_keys(self, nodes):
+        ring = HashRing(node_ids(nodes))
+        before = ring.placement(KEYS)
+        victim = f"shard-{nodes - 1}"
+        ring.remove_node(victim)
+        after = ring.placement(KEYS)
+        for key in KEYS:
+            if before[key] != victim:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != victim
+
+    @given(nodes=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_movement_volume_stays_near_ideal(self, nodes):
+        """Adding the (N+1)-th node should move about K/(N+1) keys (<=2x slack)."""
+        ring = HashRing(node_ids(nodes))
+        before = ring.placement(KEYS)
+        ring.add_node("newcomer")
+        after = ring.placement(KEYS)
+        moved = sum(1 for key in KEYS if before[key] != after[key])
+        ideal = len(KEYS) / (nodes + 1)
+        assert moved <= 2.0 * ideal
+
+    def test_add_then_remove_restores_the_original_placement(self):
+        ring = HashRing(node_ids(4))
+        before = ring.placement(KEYS)
+        ring.add_node("transient")
+        ring.remove_node("transient")
+        assert ring.placement(KEYS) == before
+
+
+class TestUniformity:
+    @given(nodes=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_load_is_within_a_constant_factor_of_ideal(self, nodes):
+        ring = HashRing(node_ids(nodes))
+        counts: dict[str, int] = {node: 0 for node in ring.nodes}
+        for key, node in ring.placement(KEYS).items():
+            counts[node] += 1
+        ideal = len(KEYS) / nodes
+        assert max(counts.values()) <= 2.0 * ideal
+        assert min(counts.values()) >= 0.25 * ideal
+
+    def test_more_virtual_nodes_tighten_the_spread(self):
+        """Averaged over several rings: 256 vnodes spread far tighter than 2."""
+
+        def spread(virtual_nodes: int, prefix: str) -> float:
+            ring = HashRing(
+                [f"{prefix}shard-{index}" for index in range(4)],
+                virtual_nodes=virtual_nodes,
+            )
+            counts = {node: 0 for node in ring.nodes}
+            for node in ring.placement(KEYS).values():
+                counts[node] += 1
+            return max(counts.values()) - min(counts.values())
+
+        prefixes = [f"ring{index}-" for index in range(8)]
+        coarse = sum(spread(2, prefix) for prefix in prefixes) / len(prefixes)
+        fine = sum(spread(256, prefix) for prefix in prefixes) / len(prefixes)
+        assert fine < 0.5 * coarse

@@ -115,6 +115,40 @@ class TestServe:
         assert "listening on http://" in output
         assert "shutting down" in output
 
+    def test_serve_routes_through_shards(self, capsys, monkeypatch):
+        from repro.serving import PlanServer
+
+        def fake_serve_forever(self, poll_interval=0.5):
+            from repro.sharding import ShardRouter
+
+            assert isinstance(self.plan_service, ShardRouter)
+            assert self.plan_service.stats()["shards"] == 2
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(PlanServer, "serve_forever", fake_serve_forever)
+        assert (
+            main(
+                [
+                    "serve",
+                    "--port",
+                    "0",
+                    "--budget",
+                    "0.2",
+                    "--shards",
+                    "2",
+                    "--shard-backend",
+                    "inproc",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "2 inproc shards" in output
+
+    def test_serve_rejects_invalid_shards(self, capsys):
+        assert main(["serve", "--port", "0", "--shards", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestScenariosAndExperiments:
     def test_list_scenarios(self, capsys):
