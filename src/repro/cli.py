@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from typing import Sequence
 
 from repro.core.optimizer import available_algorithms, optimize
@@ -120,6 +121,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd = subparsers.add_parser("serve", help="run the long-running JSON/HTTP plan service")
     serve_cmd.add_argument("--host", default="127.0.0.1", help="interface to bind")
     serve_cmd.add_argument("--port", type=int, default=8080, help="TCP port to bind (0 = ephemeral)")
+    serve_cmd.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve through the asyncio front end (one event loop; slow "
+        "clients cost sockets, not handler threads)",
+    )
+    serve_cmd.add_argument(
+        "--graceful-timeout",
+        type=float,
+        default=5.0,
+        help="seconds granted to in-flight requests when shutting down",
+    )
     serve_cmd.add_argument(
         "--budget", type=float, default=1.0, help="latency budget in seconds per cache miss"
     )
@@ -290,6 +304,11 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wait_forever() -> None:  # pragma: no cover - interrupted, or patched in tests
+    """Park the main thread behind a background server until Ctrl-C."""
+    threading.Event().wait()
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serving import PlanService, PlanServiceConfig, serve
 
@@ -321,25 +340,39 @@ def _command_serve(args: argparse.Namespace) -> int:
         topology = "1 service"
     with backend as service:
         try:
-            server = serve(service, host=args.host, port=args.port)
+            if args.use_async:
+                from repro.serving import serve_async
+
+                front_end = serve_async(service, host=args.host, port=args.port)
+                host, port = front_end.address
+                flavour = "async front end; "
+            else:
+                front_end = serve(service, host=args.host, port=args.port)
+                host, port = front_end.server_address[:2]
+                flavour = ""
         except OSError as error:
             raise ReproError(
                 f"cannot bind {args.host}:{args.port}: {error.strerror or error}"
             ) from error
-        host, port = server.server_address[:2]
         print(
             f"plan service ({topology}) listening on http://{host}:{port} "
-            f"(POST /plan, POST /plan/batch, GET /stats)"
+            f"({flavour}POST /plan, POST /plan/batch, GET /stats)"
         )
         try:
-            # serve_forever runs on this thread, so when it returns (or is
-            # interrupted) the accept loop is already down; only the socket
-            # needs closing.
-            server.serve_forever()
+            if args.use_async:
+                _wait_forever()  # the event loop serves on its own thread
+            else:
+                # serve_forever runs on this thread, so when it returns (or
+                # is interrupted) the accept loop is already down; draining
+                # in-flight handlers is the graceful path's job.
+                front_end.serve_forever()
         except KeyboardInterrupt:
             print("shutting down")
         finally:
-            server.server_close()
+            if args.use_async:
+                front_end.close(timeout=args.graceful_timeout)
+            else:
+                front_end.close_gracefully(timeout=args.graceful_timeout)
     return 0
 
 

@@ -16,7 +16,9 @@ becomes a long-running service here:
 * :mod:`repro.serving.service` — the :class:`PlanService` façade with
   admission control, single-flight miss coalescing and batch optimization,
 * :mod:`repro.serving.metrics` — per-request latency and quality metrics,
-* :mod:`repro.serving.http` — a stdlib ``ThreadingHTTPServer`` JSON endpoint.
+* :mod:`repro.serving.http` — a stdlib ``ThreadingHTTPServer`` JSON endpoint,
+* :mod:`repro.serving.aserver` — the :mod:`asyncio` front end serving the
+  same routes from one event loop: slow clients cost sockets, not threads.
 
 Quickstart
 ----------
@@ -31,6 +33,7 @@ Quickstart
 True
 """
 
+from repro.serving.aserver import AsyncPlanServer, AsyncServerHandle, serve_async
 from repro.serving.cache import CachedPlan, CacheLookup, CacheStats, PlanCache, SingleFlight
 from repro.serving.fingerprint import (
     DEFAULT_PRECISION,
@@ -38,7 +41,14 @@ from repro.serving.fingerprint import (
     fingerprint_problem,
     quantize,
 )
-from repro.serving.http import PlanServer, response_from_dict, response_to_dict, serve
+from repro.serving.http import (
+    MAX_BODY_BYTES,
+    PlanServer,
+    dispatch_request,
+    response_from_dict,
+    response_to_dict,
+    serve,
+)
 from repro.serving.metrics import LatencySummary, ServingMetrics
 from repro.serving.portfolio import (
     DEFAULT_PORTFOLIO,
@@ -54,7 +64,10 @@ from repro.serving.store import CacheStore, LocalStore, SharedStore
 __all__ = [
     "DEFAULT_PORTFOLIO",
     "DEFAULT_PRECISION",
+    "MAX_BODY_BYTES",
     "PORTFOLIO_BACKENDS",
+    "AsyncPlanServer",
+    "AsyncServerHandle",
     "CacheLookup",
     "CacheStats",
     "CacheStore",
@@ -73,10 +86,12 @@ __all__ = [
     "ServingMetrics",
     "SharedStore",
     "SingleFlight",
+    "dispatch_request",
     "fingerprint_problem",
     "quantize",
     "response_from_dict",
     "response_to_dict",
     "run_portfolio",
     "serve",
+    "serve_async",
 ]

@@ -1,0 +1,420 @@
+"""An :mod:`asyncio` HTTP front end: slow clients cost sockets, not threads.
+
+The threaded front end (:mod:`repro.serving.http`) spends one handler thread
+per connection, so a slow or stalled client — trickling its request body,
+reading its response at modem speed, idling on keep-alive — pins a thread for
+the duration.  Bound the thread count (as production must) and K such clients
+starve the fast path outright; leave it unbounded and K is also the thread
+count.  This module serves the same four routes from a single event loop:
+
+* **connections** are ``asyncio`` streams — reading the request head and body
+  and writing the response are awaited, so a slow peer suspends one coroutine
+  (a few KB) rather than occupying a thread;
+* **request handling** bridges to the same blocking service surface
+  (``submit`` / ``optimize_batch`` / ``stats`` — a
+  :class:`~repro.serving.service.PlanService` or a
+  :class:`~repro.sharding.router.ShardRouter`) through a *bounded*
+  ``run_in_executor`` pool sized off the backend's admission control, and
+  routes through the exact same :func:`~repro.serving.http.dispatch_request`
+  core as the threaded server, so status mapping (400/404/413/503/500) is
+  identical by construction;
+* **overload** stays crisp: when every executor slot is bridging a request,
+  further POSTs are answered 503 immediately (mirroring
+  :class:`~repro.exceptions.AdmissionError`) instead of queueing unboundedly
+  behind the pool — and ``GET /healthz`` is answered inline on the event
+  loop, so liveness probing survives saturation;
+* **shutdown** is graceful: stop accepting, drain requests in flight against
+  a deadline, cancel idle/straggling connections, then (optionally) close
+  the backend.
+
+HTTP/1.1 parsing is hand-rolled and minimal (request line, headers,
+``Content-Length``-framed bodies, keep-alive) in the repository's
+stdlib-only style.  Process shards behind a router keep answering through
+the process-wide :class:`~repro.sharding.multiplexer.ResponseMultiplexer`,
+so the whole serving stack runs two long-lived event loops — this one for
+sockets, that one for shard pipes — plus the bounded bridge pool.
+
+``benchmarks/bench_async.py`` measures the payoff: K deliberately slow
+clients leave fast-client latency through this server at its baseline while
+the (bounded) threaded server degrades by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+from typing import Any
+
+from repro.serving.http import (
+    MAX_BODY_BYTES,
+    REQUEST_TIMEOUT_SECONDS,
+    PayloadTooLargeError,
+    PlanBackend,
+    dispatch_request,
+    validated_content_length,
+)
+from repro.serving.service import PlanServiceConfig
+
+__all__ = ["AsyncPlanServer", "AsyncServerHandle", "serve_async"]
+
+_HEAD_LIMIT = 64 * 1024
+"""Maximum request-head (request line + headers) size before a 400."""
+
+_FALLBACK_WORKERS = 32
+"""Bridge-pool size when the backend exposes no admission configuration."""
+
+
+def _admission_sized_workers(backend: "PlanBackend") -> int:
+    """Bridge-pool size derived from the backend's admission control.
+
+    A single service admits ``max_in_flight + queue_depth`` requests; a shard
+    router multiplies that by its shard count (each shard admits its own).
+    Sizing the bridge to exactly that bound means the pool can never queue
+    work the backend would have accepted, and anything beyond it is load the
+    backend would reject anyway — the front door answers 503 without
+    touching a thread.
+
+    The size is read once, at server construction: a router resized live
+    (``add_shard`` / ``remove_shard``) keeps the original bridge bound until
+    the front end is restarted (or constructed with an explicit
+    ``max_workers``) — conservative after growth, queueing-prone after
+    shrinkage, never wrong answers.
+    """
+    config = getattr(backend, "config", None)
+    service_config = getattr(config, "service_config", config)
+    if isinstance(service_config, PlanServiceConfig):
+        per_service = service_config.max_in_flight + service_config.queue_depth
+        shards = getattr(config, "shards", 1) if config is not service_config else 1
+        return per_service * max(1, shards)
+    return _FALLBACK_WORKERS
+
+
+def _parse_head(head: bytes) -> tuple[str, str, str, dict[str, str]]:
+    """Split a request head into (method, path, version, lowercased headers)."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+        raise ValueError("undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, path, version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), path, version, headers
+
+
+class AsyncPlanServer:
+    """The asyncio JSON/HTTP plan server (same routes as :class:`PlanServer`).
+
+    Drive it natively (``await start(); await serve_forever()``) or from
+    synchronous code via :func:`serve_async`, which runs the loop on a
+    background thread and returns a joinable handle.
+    """
+
+    def __init__(
+        self,
+        plan_service: "PlanBackend",
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        max_workers: int | None = None,
+        request_timeout: float = REQUEST_TIMEOUT_SECONDS,
+    ) -> None:
+        self.plan_service = plan_service
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.request_timeout = request_timeout
+        self.max_workers = (
+            max_workers if max_workers is not None else _admission_sized_workers(plan_service)
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="aserver-bridge"
+        )
+        # GETs (/stats) bridge on their own lane so monitoring answers even
+        # with every plan-bridging slot saturated.
+        self._aux_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="aserver-aux"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._busy: set[asyncio.Task] = set()
+        self._bridged = 0  # executor slots currently bridging a request
+        self._closing = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (idempotent-unsafe: call once)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=_HEAD_LIMIT
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        assert self._server is not None, "the server has not been started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close_gracefully(
+        self, timeout: float = 5.0, *, close_backend: bool = False
+    ) -> bool:
+        """Stop accepting, drain in-flight requests, then close.
+
+        Connections mid-request get ``timeout`` seconds to finish and are
+        cancelled past it; idle keep-alive connections are cancelled
+        immediately after the drain.  Returns whether the drain completed in
+        time.  With ``close_backend`` the backend is closed last, so drained
+        requests are answered first.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        busy = [task for task in self._busy if task is not asyncio.current_task()]
+        drained = True
+        if busy:
+            _, pending = await asyncio.wait(busy, timeout=timeout)
+            drained = not pending
+        leftovers = [task for task in self._connections if task is not asyncio.current_task()]
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+        self._aux_executor.shutdown(wait=False)
+        if close_backend:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.plan_service.close
+            )
+        return drained
+
+    # -- the connection loop ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            while not self._closing:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"), self.request_timeout
+                    )
+                except asyncio.IncompleteReadError:
+                    return  # the client closed (cleanly, between requests)
+                except asyncio.LimitOverrunError:
+                    await self._respond(
+                        writer, 400, {"error": "request head too large"}, close=True
+                    )
+                    return
+                except (TimeoutError, asyncio.TimeoutError):
+                    # (asyncio.TimeoutError is distinct before Python 3.11)
+                    return  # stalled client: costs this socket, nothing else
+                try:
+                    method, path, version, headers = _parse_head(head)
+                except ValueError as error:
+                    await self._respond(writer, 400, {"error": str(error)}, close=True)
+                    return
+                body = b""
+                if method == "POST":
+                    try:
+                        length = validated_content_length(
+                            headers.get("content-length"), self.max_body_bytes
+                        )
+                    except PayloadTooLargeError as error:
+                        await self._respond(writer, 413, {"error": str(error)}, close=True)
+                        return
+                    except ValueError as error:
+                        await self._respond(writer, 400, {"error": str(error)}, close=True)
+                        return
+                    try:
+                        body = await asyncio.wait_for(
+                            reader.readexactly(length), self.request_timeout
+                        )
+                    except asyncio.IncompleteReadError as error:
+                        await self._respond(
+                            writer,
+                            400,
+                            {
+                                "error": f"truncated request body "
+                                f"({len(error.partial)} of {length} bytes)"
+                            },
+                            close=True,
+                        )
+                        return
+                    except (TimeoutError, asyncio.TimeoutError):
+                        return  # half-sent body then silence: drop the socket
+                self._busy.add(task)
+                try:
+                    status, payload = await self._answer(method, path, body)
+                    keep_alive = (
+                        status < 400
+                        and version == "HTTP/1.1"
+                        and headers.get("connection", "").lower() != "close"
+                    )
+                    await self._respond(writer, status, payload, close=not keep_alive)
+                finally:
+                    self._busy.discard(task)
+                if not keep_alive:
+                    return
+        except asyncio.CancelledError:
+            pass  # graceful-close cancellation of an idle/straggling connection
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass  # the peer vanished mid-conversation, or never read its answer
+        finally:
+            self._connections.discard(task)
+            self._busy.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _answer(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        """Bridge one framed request to the blocking service surface."""
+        loop = asyncio.get_running_loop()
+        if method != "POST":
+            if path == "/healthz":
+                # Liveness is answered inline: no bridge, no saturation.
+                return 200, {"status": "ok"}
+            # /stats and 404s ride the auxiliary lane, insulated from a
+            # saturated plan bridge (the threaded server likewise answers
+            # them on their own handler thread).
+            return await loop.run_in_executor(
+                self._aux_executor, dispatch_request, self.plan_service, method, path, body
+            )
+        if self._bridged >= self.max_workers:
+            # The bridge is exactly admission-sized, so a full pool means the
+            # backend would reject this request anyway — say so without
+            # spending a thread (the async mirror of AdmissionError).
+            return 503, {
+                "error": f"async front end over capacity: {self._bridged} requests "
+                f"bridged (limit {self.max_workers})"
+            }
+        self._bridged += 1  # single-threaded mutation: we run on the loop
+        try:
+            return await loop.run_in_executor(
+                self._executor, dispatch_request, self.plan_service, method, path, body
+            )
+        finally:
+            self._bridged -= 1
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict[str, Any], close: bool
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {HTTPStatus(status).phrase}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        # Bounded drain: a peer that never reads its response releases this
+        # coroutine at the timeout instead of holding it forever.
+        await asyncio.wait_for(writer.drain(), self.request_timeout)
+
+
+class AsyncServerHandle:
+    """A running :class:`AsyncPlanServer` driven by a background loop thread.
+
+    What synchronous callers (tests, the CLI's ``repro serve --async``) hold:
+    exposes the bound address and a blocking :meth:`close` that performs the
+    server's graceful shutdown and joins the loop thread.
+    """
+
+    def __init__(
+        self, server: AsyncPlanServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def close(self, timeout: float = 5.0, *, close_backend: bool = False) -> bool:
+        """Gracefully close the server and stop the loop thread (idempotent)."""
+        if self._closed:
+            return True
+        self._closed = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.close_gracefully(timeout, close_backend=close_backend), self._loop
+        )
+        try:
+            drained = future.result(timeout=timeout + 10.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            if not self._thread.is_alive():
+                self._loop.close()
+        return drained
+
+    def __enter__(self) -> "AsyncServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def serve_async(
+    plan_service: "PlanBackend",
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    **server_options: Any,
+) -> AsyncServerHandle:
+    """Start an :class:`AsyncPlanServer` on a background event-loop thread.
+
+    The synchronous mirror of :func:`repro.serving.http.serve` +
+    ``serve_in_background()``: returns once the socket is bound (binding
+    errors re-raise here), and the handle's :meth:`~AsyncServerHandle.close`
+    shuts everything down gracefully.
+    """
+    server = AsyncPlanServer(plan_service, host, port, **server_options)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    startup_error: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as error:  # noqa: BLE001 - re-raised in the caller
+            startup_error.append(error)
+            started.set()
+            return
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True, name="aserver-loop")
+    thread.start()
+    started.wait()
+    if startup_error:
+        thread.join(timeout=5.0)
+        loop.close()
+        raise startup_error[0]
+    return AsyncServerHandle(server, loop, thread)

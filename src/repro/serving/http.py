@@ -24,16 +24,27 @@ The server binds anything with the service surface (``submit`` /
 shards (``repro serve --shards N``) — ``/stats`` then reports the router's
 aggregated counters with a per-shard breakdown.
 
-Overload surfaces as HTTP 503 (admission control), malformed documents as
-HTTP 400; optimizer failures as HTTP 500.  Each connection is handled on its
-own thread (``ThreadingHTTPServer``), which is exactly the concurrency model
-:class:`PlanService.submit` is built for.
+Request routing and error mapping live in :func:`dispatch_request`, shared
+with the asyncio front end (:mod:`repro.serving.aserver`) so both servers
+answer identically: overload surfaces as HTTP 503 (admission control),
+malformed documents and bodies as HTTP 400, oversized bodies as HTTP 413
+(``Content-Length`` is validated against a bound instead of trusted blindly),
+optimizer failures as HTTP 500.  Each connection is handled on its own
+thread (``ThreadingHTTPServer``) with a socket timeout, which is exactly the
+concurrency model :class:`PlanService.submit` is built for; an optional
+``max_connections`` bounds the handler-thread count the way a production
+deployment must (beyond it, accepting blocks — the head-of-line regime the
+asyncio front end exists to avoid).  :meth:`PlanServer.close_gracefully`
+stops accepting, drains in-flight handlers against a deadline, and only then
+closes the socket (and optionally the backend).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Union
 
@@ -48,7 +59,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (sharding imports us)
 else:
     PlanBackend = PlanService
 
-__all__ = ["PlanServer", "response_from_dict", "response_to_dict", "serve"]
+__all__ = [
+    "MAX_BODY_BYTES",
+    "PayloadTooLargeError",
+    "PlanServer",
+    "dispatch_request",
+    "response_from_dict",
+    "response_to_dict",
+    "serve",
+    "validated_content_length",
+]
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+"""Default request-body bound: problem documents are KB-scale, so anything
+beyond this is rejected with HTTP 413 instead of read into memory."""
+
+REQUEST_TIMEOUT_SECONDS = 60.0
+"""Default per-socket timeout: a stalled client is disconnected instead of
+pinning its handler thread forever."""
+
+
+class PayloadTooLargeError(ValueError):
+    """A request body whose declared length exceeds the server's bound (413)."""
 
 
 def response_to_dict(response: PlanResponse) -> dict[str, Any]:
@@ -101,102 +133,178 @@ def _validated_budget(document: dict[str, Any]) -> float | None:
     return budget
 
 
+def validated_content_length(value: str | None, max_body_bytes: int) -> int:
+    """Validate a ``Content-Length`` header instead of trusting it blindly.
+
+    Raises :class:`ValueError` for a missing/invalid/empty declaration (HTTP
+    400) and :class:`PayloadTooLargeError` beyond ``max_body_bytes`` (HTTP
+    413) — the caller never allocates or blocks for an attacker-chosen size.
+    """
+    if value is None:
+        raise ValueError("missing Content-Length header")
+    try:
+        length = int(value)
+    except ValueError:
+        raise ValueError(f"invalid Content-Length {value!r}") from None
+    if length <= 0:
+        raise ValueError("request body is empty")
+    if length > max_body_bytes:
+        raise PayloadTooLargeError(
+            f"request body of {length} bytes exceeds the {max_body_bytes}-byte limit"
+        )
+    return length
+
+
+# -- shared request core (threaded and asyncio front ends) -----------------
+
+
+def _parse_document(body: bytes) -> dict[str, Any]:
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ValueError(f"request body is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise ValueError("request body must be a JSON object")
+    return document
+
+
+def dispatch_request(
+    plan_service: "PlanBackend", method: str, path: str, body: bytes = b""
+) -> tuple[int, dict[str, Any]]:
+    """Route one framed request against the service surface (blocking).
+
+    This is the single request core both front ends call — the threaded
+    handler directly, the asyncio server through its executor bridge — so
+    status mapping stays identical by construction: 200 answers, 400
+    malformed, 404 unknown path, 503 admission, 500 optimizer/internal.
+    Framing concerns (reading the body, 413, timeouts) stay with the caller.
+    """
+    if method == "GET":
+        if path == "/stats":
+            try:
+                return 200, plan_service.stats()
+            except ReproError as error:
+                return 500, {"error": str(error)}
+            except Exception as error:  # noqa: BLE001 - a handler must answer
+                return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+        if path == "/healthz":
+            return 200, {"status": "ok"}
+        return 404, {"error": f"unknown path {path!r}"}
+    if method != "POST":
+        return 501, {"error": f"unsupported method {method!r}"}
+    try:
+        document = _parse_document(body)
+    except ValueError as error:
+        return 400, {"error": str(error)}
+    if path == "/plan/batch":
+        return _dispatch_batch(plan_service, document)
+    if path != "/plan":
+        return 404, {"error": f"unknown path {path!r}"}
+    try:
+        if "problem" in document:
+            problem_document = document["problem"]
+            budget = _validated_budget(document)
+        else:
+            problem_document = document
+            budget = None
+        problem = problem_from_dict(problem_document)
+    except (TypeError, ValueError, InvalidProblemError) as error:
+        return 400, {"error": str(error)}
+    try:
+        response = plan_service.submit(problem, budget_seconds=budget)
+    except AdmissionError as error:
+        return 503, {"error": str(error)}
+    except ReproError as error:
+        return 500, {"error": str(error)}
+    except Exception as error:  # noqa: BLE001 - a handler must answer, not leak
+        return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+    return 200, response_to_dict(response)
+
+
+def _dispatch_batch(
+    plan_service: "PlanBackend", document: dict[str, Any]
+) -> tuple[int, dict[str, Any]]:
+    """Handle a parsed ``POST /plan/batch`` document."""
+    try:
+        problem_documents = document["problems"]
+        if not isinstance(problem_documents, list) or not problem_documents:
+            raise InvalidProblemError("'problems' must be a non-empty list")
+        budget = _validated_budget(document)
+        problems = [problem_from_dict(entry) for entry in problem_documents]
+    except (KeyError, TypeError, ValueError, InvalidProblemError) as error:
+        return 400, {"error": f"malformed batch request: {error}"}
+    try:
+        responses = plan_service.optimize_batch(problems, budget_seconds=budget)
+    except AdmissionError as error:
+        return 503, {"error": str(error)}
+    except ReproError as error:
+        return 500, {"error": str(error)}
+    except Exception as error:  # noqa: BLE001 - a handler must answer, not leak
+        return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+    return 200, {"responses": [response_to_dict(response) for response in responses]}
+
+
 class _PlanRequestHandler(BaseHTTPRequestHandler):
-    """Routes ``POST /plan``, ``GET /stats`` and ``GET /healthz``."""
+    """Frames requests and answers through :func:`dispatch_request`."""
 
     server: "PlanServer"
     protocol_version = "HTTP/1.1"
 
+    def setup(self) -> None:
+        # A per-socket timeout so a stalled client (half-sent body, idle
+        # keep-alive) is disconnected instead of pinning this thread forever.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
     # -- routing -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Serve the stats snapshot and the liveness probe."""
-        if self.path == "/stats":
-            self._send_json(200, self.server.plan_service.stats())
-        elif self.path == "/healthz":
-            self._send_json(200, {"status": "ok"})
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        with self.server._request_in_progress():
+            status, payload = dispatch_request(self.server.plan_service, "GET", self.path)
+            self._send_json(status, payload)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Accept one plan request, or a whole batch."""
-        try:
-            # Read the body before routing: on a keep-alive connection an
-            # unread body would be parsed as the next request line.
-            document = self._read_json()
-        except ValueError as error:
-            self._send_json(400, {"error": str(error)})
-            return
-        if self.path == "/plan/batch":
-            self._answer_batch(document)
-            return
-        if self.path != "/plan":
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
-            return
-        try:
-            if "problem" in document:
-                problem_document = document["problem"]
-                budget = _validated_budget(document)
-            else:
-                problem_document = document
-                budget = None
-            problem = problem_from_dict(problem_document)
-        except (TypeError, ValueError, InvalidProblemError) as error:
-            self._send_json(400, {"error": str(error)})
-            return
-        try:
-            response = self.server.plan_service.submit(problem, budget_seconds=budget)
-        except AdmissionError as error:
-            self._send_json(503, {"error": str(error)})
-            return
-        except ReproError as error:
-            self._send_json(500, {"error": str(error)})
-            return
-        self._send_json(200, response_to_dict(response))
-
-    def _answer_batch(self, document: dict[str, Any]) -> None:
-        """Handle ``POST /plan/batch``."""
-        try:
-            problem_documents = document["problems"]
-            if not isinstance(problem_documents, list) or not problem_documents:
-                raise InvalidProblemError("'problems' must be a non-empty list")
-            budget = _validated_budget(document)
-            problems = [problem_from_dict(entry) for entry in problem_documents]
-        except (KeyError, TypeError, ValueError, InvalidProblemError) as error:
-            self._send_json(400, {"error": f"malformed batch request: {error}"})
-            return
-        try:
-            responses = self.server.plan_service.optimize_batch(problems, budget_seconds=budget)
-        except AdmissionError as error:
-            self._send_json(503, {"error": str(error)})
-            return
-        except ReproError as error:
-            self._send_json(500, {"error": str(error)})
-            return
-        self._send_json(
-            200, {"responses": [response_to_dict(response) for response in responses]}
-        )
+        with self.server._request_in_progress():
+            try:
+                # Read the body before routing: on a keep-alive connection an
+                # unread body would be parsed as the next request line.
+                body = self._read_body()
+            except PayloadTooLargeError as error:
+                # The body is deliberately left unread; _send_json closes the
+                # connection on error statuses, keeping framing honest.
+                self._send_json(413, {"error": str(error)})
+                return
+            except ValueError as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            status, payload = dispatch_request(
+                self.server.plan_service, "POST", self.path, body
+            )
+            self._send_json(status, payload)
 
     # -- plumbing ----------------------------------------------------------
 
-    def _read_json(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0:
-            raise ValueError("request body is empty")
+    def _read_body(self) -> bytes:
+        length = validated_content_length(
+            self.headers.get("Content-Length"), self.server.max_body_bytes
+        )
         body = self.rfile.read(length)
-        document = json.loads(body.decode("utf-8"))
-        if not isinstance(document, dict):
-            raise ValueError("request body must be a JSON object")
-        return document
+        if len(body) != length:
+            raise ValueError(
+                f"truncated request body ({len(body)} of {length} bytes)"
+            )
+        return body
 
     def _send_json(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        if status >= 400:
-            # Error paths may leave request bytes unread (e.g. a body sent
-            # without Content-Length); closing keeps keep-alive in sync.
+        if status >= 400 or self.server._closing:
+            # Error paths may leave request bytes unread (e.g. an oversized
+            # or truncated body); closing keeps keep-alive in sync.  During a
+            # graceful close, answered connections are released rather than
+            # parked on keep-alive.
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
@@ -207,24 +315,145 @@ class _PlanRequestHandler(BaseHTTPRequestHandler):
 
 
 class PlanServer(ThreadingHTTPServer):
-    """A :class:`ThreadingHTTPServer` bound to one service (or shard router)."""
+    """A :class:`ThreadingHTTPServer` bound to one service (or shard router).
+
+    ``max_connections`` optionally bounds concurrent handler threads (the
+    accept loop blocks beyond it) — the production-shaped configuration, and
+    the regime where slow clients visibly starve fast ones
+    (``benchmarks/bench_async.py`` measures exactly that against the asyncio
+    front end).  ``None`` keeps the historical unbounded thread-per-connection
+    behaviour.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], plan_service: "PlanBackend") -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        plan_service: "PlanBackend",
+        *,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        max_connections: int | None = None,
+        request_timeout: float = REQUEST_TIMEOUT_SECONDS,
+    ) -> None:
         super().__init__(address, _PlanRequestHandler)
         self.plan_service = plan_service
+        self.max_body_bytes = max_body_bytes
+        self.request_timeout = request_timeout
+        self._connection_slots = (
+            threading.Semaphore(max_connections) if max_connections is not None else None
+        )
+        self._serving = False
+        self._closing = False
+        self._in_flight = 0  # open connections (slot accounting)
+        self._busy = 0  # requests being processed (drain accounting)
+        self._drained = threading.Condition()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
 
     def serve_in_background(self) -> threading.Thread:
         """Start :meth:`serve_forever` on a daemon thread and return it."""
+        # Marked serving *before* the thread runs: a prompt close_gracefully
+        # must route through shutdown() (which handshakes with the starting
+        # loop) rather than closing the socket under it.
+        self._serving = True
         thread = threading.Thread(target=self.serve_forever, daemon=True, name="plan-server")
         thread.start()
         return thread
 
+    def close_gracefully(
+        self, timeout: float = 5.0, *, close_backend: bool = False
+    ) -> bool:
+        """Stop accepting, drain in-flight *requests*, then close the socket.
+
+        The drain waits only for requests being processed — an idle
+        keep-alive connection (a handler parked between requests) does not
+        pin it; its daemon thread is released by the socket timeout, and any
+        request it answers during the drain is sent ``Connection: close``.
+        Returns whether the drain completed inside ``timeout`` (with
+        ``close_backend`` the service behind the server is closed last, so
+        drained requests are answered first).
+        """
+        # Unblock an accept loop parked in the connection-slot acquire first:
+        # shutdown() waits for serve_forever to exit, and it cannot while a
+        # queued connection is waiting on a slot no handler will free in time.
+        self._closing = True
+        if self._serving:
+            self.shutdown()  # stops the accept loop; in-flight handlers continue
+        deadline = time.monotonic() + timeout
+        with self._drained:
+            while self._busy > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._drained.wait(timeout=remaining)
+            drained = self._busy == 0
+        self.server_close()
+        if close_backend:
+            self.plan_service.close()
+        return drained
+
+    # -- connection tracking -----------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        if self._connection_slots is not None:
+            # Blocks the accept loop when every slot is taken: the bounded
+            # production regime (new connections wait in the listen backlog).
+            # The wait is chunked so a graceful close can reclaim the loop —
+            # a connection still queued at that point is dropped, which is
+            # exactly what "stop accepting" means.
+            while not self._connection_slots.acquire(timeout=0.1):
+                if self._closing:
+                    self.shutdown_request(request)
+                    return
+        with self._drained:
+            self._in_flight += 1
+        try:
+            super().process_request(request, client_address)
+        except BaseException:  # pragma: no cover - thread-spawn failure
+            self._finish_connection()
+            raise
+
+    def process_request_thread(self, request, client_address) -> None:
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            self._finish_connection()
+
+    def _finish_connection(self) -> None:
+        if self._connection_slots is not None:
+            self._connection_slots.release()
+        with self._drained:
+            self._in_flight -= 1
+            self._drained.notify_all()
+
+    @contextlib.contextmanager
+    def _request_in_progress(self):
+        """Request-scoped drain accounting (handlers wrap each request)."""
+        with self._drained:
+            self._busy += 1
+        try:
+            yield
+        finally:
+            with self._drained:
+                self._busy -= 1
+                self._drained.notify_all()
+
 
 def serve(
-    plan_service: "PlanBackend", host: str = "127.0.0.1", port: int = 8080
+    plan_service: "PlanBackend",
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    **server_options: Any,
 ) -> PlanServer:
     """Bind a :class:`PlanServer` for ``plan_service`` (call ``serve_forever`` or
-    :meth:`PlanServer.serve_in_background` on the result)."""
-    return PlanServer((host, port), plan_service)
+    :meth:`PlanServer.serve_in_background` on the result).  ``server_options``
+    are forwarded (``max_body_bytes``, ``max_connections``, ``request_timeout``)."""
+    return PlanServer((host, port), plan_service, **server_options)

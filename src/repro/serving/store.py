@@ -19,8 +19,9 @@ Two implementations ship:
 * :class:`LocalStore` — the in-process ``OrderedDict`` the cache always used,
   now extracted; one lock, exact LRU order.
 * :class:`SharedStore` — a file-backed KV (one JSON document per entry,
-  atomic ``os.replace`` writes, recency tracked through file mtimes) that
-  several :class:`~repro.serving.service.PlanService` shard *processes* can
+  atomic ``os.replace`` writes, recency tracked through ``st_mtime_ns`` plus
+  an in-process monotonic tie-break) that several
+  :class:`~repro.serving.service.PlanService` shard *processes* can
   point at the same directory, so shards share warm plans and a rebalanced
   key is warm on its new shard the moment it moves.  Writes are last-writer-
   wins and unlink races are tolerated, which is exactly the cache's contract:
@@ -36,6 +37,7 @@ inspectable on disk and survive interpreter upgrades.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import os
 import tempfile
@@ -54,6 +56,13 @@ __all__ = ["CacheStore", "LocalStore", "SharedStore"]
 
 _ENTRY_SUFFIX = ".plan.json"
 """Filename suffix of one stored entry in a :class:`SharedStore` directory."""
+
+_PUTS_PER_INDEX_RESYNC = 64
+"""Every this many puts a :class:`SharedStore` rescans unconditionally: a
+sibling's write landing in the *same* filesystem timestamp tick as the
+recorded directory mtime is invisible to the cheap change check, so the
+forced rescan bounds how long such a missed entry can skew capacity
+accounting (amortised cost: one scan per 64 inserts)."""
 
 
 @runtime_checkable
@@ -205,9 +214,25 @@ class SharedStore:
 
     One JSON document per entry under ``directory``; writes go through a
     temporary file plus :func:`os.replace`, so a reader never observes a
-    half-written entry.  Recency is the file's mtime (``touch`` bumps it),
-    which makes LRU eviction approximate but multi-process coherent without
-    any cross-process lock.
+    half-written entry.  Recency is the file's ``st_mtime_ns`` (``touch``
+    bumps it), which makes LRU eviction approximate but multi-process
+    coherent without any cross-process lock.  Within one process the store
+    breaks mtime ties with a monotonic sequence number, so entries written
+    inside the same filesystem timestamp tick (second-granular on some
+    filesystems) still evict in true LRU order instead of effectively at
+    random.
+
+    Eviction runs off a cached in-process index of ``(recency, name)``
+    pairs instead of rescanning the directory on every insert: the index is
+    rebuilt when the *directory* mtime no longer matches the value recorded
+    after this store's own last mutation — i.e. when some other process (or
+    store instance) added or removed entries — and unconditionally every
+    ``_PUTS_PER_INDEX_RESYNC`` puts, because a sibling's write landing in
+    the same timestamp tick as the recorded value would otherwise go
+    unnoticed.  A sibling's ``touch`` does not change the directory mtime,
+    so its recency bump is picked up lazily; the victim choice blurs exactly
+    as the mtime contract already allows, and capacity drift from a missed
+    same-tick write is bounded by the periodic rescan.
 
     The directory is *one* cache: ``capacity`` bounds the directory-wide
     entry count (not per pointing process), and ``__len__`` / ``scan``
@@ -222,6 +247,13 @@ class SharedStore:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        # filename -> (recency_ns, seq); rebuilt when the directory changed
+        # under us, otherwise maintained incrementally (no directory scan).
+        self._index: dict[str, tuple[int, int]] = {}
+        self._heap: list[tuple[int, int, str]] = []  # (recency_ns, seq, name)
+        self._seq = 0
+        self._dir_mtime_ns: int | None = None  # None = index not built yet
+        self._puts_since_resync = 0
 
     # -- paths -------------------------------------------------------------
 
@@ -254,6 +286,13 @@ class SharedStore:
         payload = json.dumps(_entry_to_document(key, entry), separators=(",", ":"))
         path = self._path(key)
         with self._lock:
+            self._puts_since_resync += 1
+            if self._puts_since_resync >= _PUTS_PER_INDEX_RESYNC:
+                self._puts_since_resync = 0
+                self._dir_mtime_ns = None  # force the rescan (same-tick writes)
+            # Sync before mutating: our own write below changes the directory
+            # mtime, and only the post-mutation value must be recorded.
+            self._sync_index_locked()
             handle, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(handle, "w", encoding="utf-8") as stream:
@@ -265,7 +304,10 @@ class SharedStore:
                 except FileNotFoundError:
                     pass
                 raise
-            return self._evict_beyond_capacity(keep=path)
+            self._note_recency_locked(path)
+            evicted = self._evict_beyond_capacity_locked(keep=path.name)
+            self._note_dir_mtime_locked()
+            return evicted
 
     def invalidate(self, key: str, expected: "CachedPlan | None" = None) -> bool:
         path = self._path(key)
@@ -278,17 +320,27 @@ class SharedStore:
             current = self.get(key)
             if current is None or current.created_at != expected.created_at:
                 return False
-        try:
-            os.unlink(path)
-        except FileNotFoundError:
-            return False
+        with self._lock:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                return False
+            self._index.pop(path.name, None)
+            self._note_dir_mtime_locked()
         return True
 
     def touch(self, key: str) -> None:
-        try:
-            os.utime(self._path(key))
-        except FileNotFoundError:
-            pass
+        path = self._path(key)
+        with self._lock:
+            try:
+                os.utime(path)
+            except FileNotFoundError:
+                return
+            if self._dir_mtime_ns is not None:
+                # Keep the index's recency exact for our own touches; a
+                # sibling process's utime is invisible here (it does not bump
+                # the directory mtime), which only blurs its victim priority.
+                self._note_recency_locked(path)
 
     def scan(self) -> list[str]:
         keys = []
@@ -299,11 +351,15 @@ class SharedStore:
         return keys
 
     def clear(self) -> None:
-        for path in self._entry_paths():
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
-                pass
+        with self._lock:
+            for path in self._entry_paths():
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+            self._index.clear()
+            self._heap.clear()
+            self._note_dir_mtime_locked()
 
     def __len__(self) -> int:
         return len(self._entry_paths())
@@ -328,25 +384,90 @@ class SharedStore:
             return None
         return document if isinstance(document, dict) else None
 
-    def _evict_beyond_capacity(self, keep: Path) -> int:
-        entries = []
+    def _recency_ns(self, path: Path) -> int:
+        """The filesystem recency of ``path`` (hook; tests simulate coarse clocks)."""
+        return path.stat().st_mtime_ns
+
+    def _sync_index_locked(self) -> None:
+        """Rebuild the eviction index iff the directory changed externally.
+
+        The check is one ``stat`` of the directory: entry creation/removal by
+        anyone bumps its mtime, and :meth:`put` / :meth:`invalidate` /
+        :meth:`clear` record the post-mutation value, so a match means the
+        index is current and the steady-state put never rescans.
+        """
+        try:
+            dir_mtime = os.stat(self.directory).st_mtime_ns
+        except FileNotFoundError:
+            self._index.clear()
+            self._heap.clear()
+            self._dir_mtime_ns = None
+            return
+        if self._dir_mtime_ns is not None and dir_mtime == self._dir_mtime_ns:
+            return
+        fresh: dict[str, tuple[int, int]] = {}
         for path in self._entry_paths():
             try:
-                entries.append((path.stat().st_mtime_ns, path))
+                ns = self._recency_ns(path)
             except FileNotFoundError:
                 continue  # concurrently invalidated
-        excess = len(entries) - self.capacity
-        if excess <= 0:
-            return 0
-        evicted = 0
-        for _, path in sorted(entries, key=lambda item: item[0]):
-            if evicted >= excess:
-                break
-            if path == keep:
-                continue  # never evict the entry just written
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
+            known = self._index.get(path.name)
+            # Keep our own tie-break when the on-disk recency is unchanged;
+            # an externally modified file falls back to mtime-only order.
+            fresh[path.name] = known if (known is not None and known[0] == ns) else (ns, 0)
+        self._index = fresh
+        self._heap = [(ns, seq, name) for name, (ns, seq) in fresh.items()]
+        heapq.heapify(self._heap)
+        self._dir_mtime_ns = dir_mtime
+
+    def _note_recency_locked(self, path: Path) -> None:
+        """Mark ``path`` most recent: on-disk mtime plus a monotonic tie-break."""
+        try:
+            ns = self._recency_ns(path)
+        except FileNotFoundError:
+            return
+        self._seq += 1
+        self._index[path.name] = (ns, self._seq)
+        heapq.heappush(self._heap, (ns, self._seq, path.name))
+        # Lazy deletion leaves one superseded tuple per touch/replace in the
+        # heap; compact before a hit-heavy workload turns that into a leak.
+        if len(self._heap) > 4 * len(self._index) + 64:
+            self._heap = [(n, s, name) for name, (n, s) in self._index.items()]
+            heapq.heapify(self._heap)
+
+    def _note_dir_mtime_locked(self) -> None:
+        try:
+            self._dir_mtime_ns = os.stat(self.directory).st_mtime_ns
+        except FileNotFoundError:
+            self._dir_mtime_ns = None
+
+    def _pop_lru_locked(self, spare: str) -> str | None:
+        """Remove and return the LRU index entry, never ``spare`` (lazy heap)."""
+        withheld: tuple[int, int, str] | None = None
+        victim: str | None = None
+        while self._heap:
+            ns, seq, name = heapq.heappop(self._heap)
+            if self._index.get(name) != (ns, seq):
+                continue  # superseded by a later touch/put, or already gone
+            if name == spare:
+                withheld = (ns, seq, name)
                 continue
+            del self._index[name]
+            victim = name
+            break
+        if withheld is not None:
+            heapq.heappush(self._heap, withheld)
+        return victim
+
+    def _evict_beyond_capacity_locked(self, keep: str) -> int:
+        evicted = 0
+        while len(self._index) > self.capacity:
+            victim = self._pop_lru_locked(spare=keep)
+            if victim is None:
+                break
+            try:
+                os.unlink(self.directory / victim)
+            except FileNotFoundError:
+                continue  # concurrently invalidated; not our eviction
             evicted += 1
         return evicted

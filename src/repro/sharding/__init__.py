@@ -13,12 +13,17 @@ serving stack horizontally:
 * :mod:`repro.sharding.process` — :class:`ProcessShard`, a whole service in
   its own OS process behind the array wire codec, which is what makes N
   shards use N cores,
+* :mod:`repro.sharding.multiplexer` — :class:`ResponseMultiplexer`, the one
+  selector loop correlating every process shard's answers (N shards cost one
+  thread, not N reader threads), shared by the sync router and the asyncio
+  front end,
 
 with warm plans optionally shared between shards through a
 :class:`~repro.serving.store.SharedStore` (``shared_cache_dir``), so a key
 rebalanced to another shard stays a cache hit.
 """
 
+from repro.sharding.multiplexer import ResponseMultiplexer, default_multiplexer
 from repro.sharding.process import ProcessShard
 from repro.sharding.ring import DEFAULT_VIRTUAL_NODES, HashRing
 from repro.sharding.router import SHARD_BACKENDS, ShardRouter, ShardRouterConfig
@@ -28,6 +33,8 @@ __all__ = [
     "SHARD_BACKENDS",
     "HashRing",
     "ProcessShard",
+    "ResponseMultiplexer",
     "ShardRouter",
     "ShardRouterConfig",
+    "default_multiplexer",
 ]

@@ -1,0 +1,236 @@
+"""One selector loop over every process shard's response pipe.
+
+A :class:`~repro.sharding.process.ProcessShard` used to pin one dedicated
+reader thread per shard in the router process, each blocking on its own
+response queue — N shards cost N parked threads before a single request
+flows.  The :class:`ResponseMultiplexer` flattens that: *one* thread waits on
+all registered shards' response pipes at once
+(:func:`multiprocessing.connection.wait`, the stdlib's selector over pipe
+file descriptors) and dispatches each ``(request_id, ok, payload)`` answer to
+the owning shard's correlation callback.
+
+The multiplexer is deliberately front-end-agnostic: the synchronous
+:class:`~repro.sharding.router.ShardRouter` and the asyncio front end
+(:mod:`repro.serving.aserver`) drive the same shards, so they share the same
+process-wide multiplexer (:func:`default_multiplexer`) — shard count scales
+without the thread count following it.
+
+Registration is keyed by small :class:`_Port` handles: a shard registers its
+response queue plus three callbacks (``on_message`` for answers, ``alive``
+for liveness probing, ``on_death`` to fail its waiters) and unregisters on
+close.  Liveness is swept at the poll cadence, but only for ports with no
+answer bytes pending, so buffered answers of a crashing shard are still
+delivered before its waiters are failed — the same ordering the per-shard
+reader threads guaranteed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import queue
+import threading
+import time
+from typing import Callable
+
+__all__ = ["ResponseMultiplexer", "default_multiplexer"]
+
+_POLL_SECONDS = 0.25
+"""Wait timeout: the cadence of the dead-shard liveness sweep."""
+
+
+class _Port:
+    """One registered shard response channel."""
+
+    __slots__ = ("response_queue", "reader", "on_message", "alive", "on_death")
+
+    def __init__(
+        self,
+        response_queue,
+        on_message: Callable[[tuple], None],
+        alive: Callable[[], bool] | None,
+        on_death: Callable[[], None] | None,
+    ) -> None:
+        self.response_queue = response_queue
+        # The queue's receiving Connection — what the selector waits on.  A
+        # private attribute, but a stable one (CPython's mp.Queue has carried
+        # it unchanged for over a decade), and the whole point: readiness
+        # without a blocking get() per shard.
+        self.reader = response_queue._reader
+        self.on_message = on_message
+        self.alive = alive
+        self.on_death = on_death
+
+
+class ResponseMultiplexer:
+    """A single thread correlating every registered shard's answers.
+
+    Thread-safe: ports may be registered/unregistered from any thread while
+    the loop runs.  The loop thread starts lazily on the first registration
+    and idles at the poll cadence when no ports are registered.
+    """
+
+    def __init__(self, name: str = "shard-mux", poll_seconds: float = _POLL_SECONDS) -> None:
+        self._name = name
+        self._poll_seconds = poll_seconds
+        self._lock = threading.Lock()
+        self._ports: set[_Port] = set()
+        self._thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+        # A self-pipe: registration changes wake the selector immediately
+        # instead of waiting out the current poll timeout.
+        self._wake_recv, self._wake_send = multiprocessing.Pipe(duplex=False)
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        response_queue,
+        on_message: Callable[[tuple], None],
+        alive: Callable[[], bool] | None = None,
+        on_death: Callable[[], None] | None = None,
+    ) -> _Port:
+        """Start correlating ``response_queue``; returns the port handle."""
+        with self._lock:
+            if self._stopped.is_set():
+                raise RuntimeError("the response multiplexer has been closed")
+            port = _Port(response_queue, on_message, alive, on_death)
+            self._ports.add(port)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name=self._name, daemon=True
+                )
+                self._thread.start()
+        self._wake()
+        return port
+
+    def unregister(self, port: _Port) -> None:
+        """Stop correlating ``port`` (idempotent).
+
+        The caller may close the underlying queue immediately afterwards: a
+        selector pass racing the closure sees a dead file descriptor, which
+        the loop tolerates and drops on its next rebuild.
+        """
+        with self._lock:
+            self._ports.discard(port)
+        self._wake()
+
+    def ports(self) -> int:
+        """Number of registered shard channels (introspection/tests)."""
+        with self._lock:
+            return len(self._ports)
+
+    @property
+    def thread_name(self) -> str | None:
+        """Name of the running loop thread, or ``None`` before first use."""
+        with self._lock:
+            return self._thread.name if self._thread is not None else None
+
+    def close(self) -> None:
+        """Stop the loop thread (idempotent; for tests — the process-wide
+        default multiplexer lives as long as the process)."""
+        self._stopped.set()
+        self._wake()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2 * self._poll_seconds + 1.0)
+
+    # -- the loop ----------------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send_bytes(b"w")
+        except (OSError, ValueError):  # pragma: no cover - closed during teardown
+            pass
+
+    def _run(self) -> None:
+        last_sweep = time.monotonic()
+        while not self._stopped.is_set():
+            try:
+                last_sweep = self._run_once(last_sweep)
+            except OSError:
+                # A port's queue was closed between snapshot and wait (shard
+                # shutdown race); drop the stale snapshot and rebuild.
+                continue
+            except Exception:  # noqa: BLE001 - one loop serves every shard
+                # Nothing may kill the process-wide selector thread: a dead
+                # loop would hang every shard's waiters forever.
+                continue
+
+    def _run_once(self, last_sweep: float) -> float:
+        with self._lock:
+            ports = list(self._ports)
+        waitables = [port.reader for port in ports] + [self._wake_recv]
+        ready = multiprocessing.connection.wait(waitables, timeout=self._poll_seconds)
+        if self._stopped.is_set():
+            return last_sweep
+        ready_set = set(ready)
+        if self._wake_recv in ready_set:
+            self._drain_wakeups()
+        for port in ports:
+            if port.reader in ready_set:
+                self._drain_port(port)
+        now = time.monotonic()
+        if now - last_sweep >= self._poll_seconds:
+            last_sweep = now
+            self._sweep_dead(ports)
+        return last_sweep
+
+    def _drain_wakeups(self) -> None:
+        try:
+            while self._wake_recv.poll():
+                self._wake_recv.recv_bytes()
+        except (EOFError, OSError):  # pragma: no cover - closed during teardown
+            pass
+
+    def _drain_port(self, port: _Port) -> None:
+        while True:
+            try:
+                item = port.response_queue.get_nowait()
+            except queue.Empty:
+                return
+            except (EOFError, OSError, ValueError):
+                # The channel died under us (shard torn down mid-drain);
+                # in-flight waiters are failed by the owner's close/sweep.
+                return
+            except Exception:  # noqa: BLE001 - e.g. an unpicklable payload
+                # The message bytes were consumed; skip it and keep draining.
+                # Its waiter is failed by the owner's death sweep or close.
+                continue
+            try:
+                port.on_message(item)
+            except Exception:  # pragma: no cover - callbacks must not kill the loop
+                pass
+
+    def _sweep_dead(self, ports: list[_Port]) -> None:
+        """Fail waiters of shards whose process died with nothing left to read."""
+        for port in ports:
+            if port.alive is None or port.on_death is None:
+                continue
+            try:
+                pending = port.reader.poll()
+            except (OSError, ValueError):
+                pending = False
+            if pending or port.alive():
+                continue
+            try:
+                port.on_death()
+            except Exception:  # pragma: no cover - callbacks must not kill the loop
+                pass
+
+
+_default_lock = threading.Lock()
+_default: ResponseMultiplexer | None = None
+
+
+def default_multiplexer() -> ResponseMultiplexer:
+    """The process-wide multiplexer every :class:`ProcessShard` shares.
+
+    One loop thread correlates all shards of all routers (and any standalone
+    shards) in this process; it lives for the life of the process.
+    """
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = ResponseMultiplexer()
+        return _default

@@ -14,7 +14,10 @@ service — cache, portfolio, admission control — into its own OS process:
   service does (admission control included);
 * the parent side multiplexes: any number of router threads may call
   :meth:`ProcessShard.submit` / :meth:`ProcessShard.optimize_batch`
-  concurrently — a reader thread correlates answers to waiters by request id.
+  concurrently — answers are correlated to waiters by request id through the
+  process-wide :class:`~repro.sharding.multiplexer.ResponseMultiplexer`, one
+  selector thread over *all* shards' response pipes rather than one parked
+  reader thread per shard.
 
 Shard-side failures are re-raised in the parent with their original type
 where it matters (:class:`~repro.exceptions.AdmissionError` must keep
@@ -24,7 +27,6 @@ meaning HTTP 503); a shard process dying fails its in-flight requests with
 
 from __future__ import annotations
 
-import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
@@ -41,6 +43,7 @@ from repro.parallel.pool import preferred_context
 from repro.serialization import problem_from_wire, problem_to_wire
 from repro.serving.http import response_from_dict, response_to_dict
 from repro.serving.service import PlanResponse, PlanService, PlanServiceConfig
+from repro.sharding.multiplexer import ResponseMultiplexer, default_multiplexer
 
 __all__ = ["ProcessShard"]
 
@@ -48,7 +51,7 @@ _SHUTDOWN = None
 """Sentinel the shard child interprets as 'drain and exit'."""
 
 _POLL_SECONDS = 0.25
-"""How often the parent's reader wakes to notice a dead shard process."""
+"""Grace added to close() joins (one multiplexer poll interval)."""
 
 _ERROR_TYPES = {
     "AdmissionError": AdmissionError,
@@ -126,13 +129,19 @@ class _Waiter:
 
 
 class ProcessShard:
-    """A :class:`PlanService` running in a dedicated child process."""
+    """A :class:`PlanService` running in a dedicated child process.
+
+    ``multiplexer`` injects the answer-correlation loop; by default every
+    shard in the process shares :func:`default_multiplexer`, so N shards are
+    served by one selector thread instead of N reader threads.
+    """
 
     def __init__(
         self,
         shard_id: str,
         config: PlanServiceConfig,
         mp_context: str | None = None,
+        multiplexer: ResponseMultiplexer | None = None,
     ) -> None:
         self.shard_id = shard_id
         context = preferred_context(mp_context)
@@ -149,10 +158,13 @@ class ProcessShard:
         self._next_request_id = 0
         self._waiters: dict[int, _Waiter] = {}
         self._closed = threading.Event()
-        self._reader = threading.Thread(
-            target=self._read_responses, name=f"shard-reader-{shard_id}", daemon=True
+        self.multiplexer = multiplexer if multiplexer is not None else default_multiplexer()
+        self._port = self.multiplexer.register(
+            self._responses,
+            on_message=self._dispatch,
+            alive=self._process.is_alive,
+            on_death=self._on_death,
         )
-        self._reader.start()
 
     # -- shard surface (duck-typed like PlanService) -----------------------
 
@@ -198,8 +210,10 @@ class ProcessShard:
         if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout=timeout)
+        # Unregister before closing the channel: the multiplexer tolerates the
+        # closure race, but must stop dispatching for this shard first.
+        self.multiplexer.unregister(self._port)
         self._fail_waiters("the shard was closed with requests in flight")
-        self._reader.join(timeout=timeout + _POLL_SECONDS)
         self._requests.close()
         self._responses.close()
 
@@ -224,31 +238,25 @@ class ProcessShard:
             f"shard {self.shard_id!r}: {message}"
         )
 
-    def _read_responses(self) -> None:
-        """Correlate shard answers to waiters; fail them if the shard dies."""
-        while True:
-            try:
-                request_id, ok, payload = self._responses.get(timeout=_POLL_SECONDS)
-            except queue.Empty:
-                if self._closed.is_set():
-                    return
-                if not self._process.is_alive():
-                    self._fail_waiters(
-                        f"shard process died (exit code {self._process.exitcode})"
-                    )
-                    # Stay alive to fail future _call registrations too, until
-                    # close() is called; they would otherwise hang forever.
-                continue
-            except (EOFError, OSError, ValueError):  # pragma: no cover - shutdown race
-                self._fail_waiters("the shard's response channel closed")
-                return
-            with self._lock:
-                waiter = self._waiters.pop(request_id, None)
-            if waiter is None:
-                continue
-            waiter.ok = ok
-            waiter.payload = payload
-            waiter.done.set()
+    def _dispatch(self, item: tuple) -> None:
+        """Multiplexer callback: route one shard answer to its waiter."""
+        request_id, ok, payload = item
+        with self._lock:
+            waiter = self._waiters.pop(request_id, None)
+        if waiter is None:
+            return
+        waiter.ok = ok
+        waiter.payload = payload
+        waiter.done.set()
+
+    def _on_death(self) -> None:
+        """Multiplexer callback: the shard process died with nothing buffered.
+
+        Swept at the poll cadence until :meth:`close` unregisters the port,
+        so ``_call`` registrations racing the death are failed too instead of
+        hanging forever.
+        """
+        self._fail_waiters(f"shard process died (exit code {self._process.exitcode})")
 
     def _fail_waiters(self, message: str) -> None:
         with self._lock:

@@ -124,6 +124,7 @@ class ShardRouter:
         self.config = config if config is not None else ShardRouterConfig()
         self._ring = HashRing(virtual_nodes=self.config.virtual_nodes)
         self._shards: dict[str, object] = {}
+        self._multiplexer = None
         self._next_shard_index = 0
         # Guards ring + shard-map mutation (resize); request routing only
         # reads under it briefly, never across an optimization.
@@ -162,6 +163,15 @@ class ShardRouter:
         self.close()
 
     # -- topology ----------------------------------------------------------
+
+    @property
+    def multiplexer(self):
+        """The multiplexer this router's process shards answer through (one
+        selector loop for all of them — see
+        :mod:`repro.sharding.multiplexer`), or ``None`` before any process
+        shard exists (e.g. the in-proc backend, which needs no response
+        correlation)."""
+        return self._multiplexer
 
     @property
     def shard_ids(self) -> tuple[str, ...]:
@@ -204,8 +214,15 @@ class ShardRouter:
                 service_config = dataclasses.replace(
                     service_config, cache_store_dir=self.config.shared_cache_dir
                 )
+            if self._multiplexer is None:
+                from repro.sharding.multiplexer import default_multiplexer
+
+                self._multiplexer = default_multiplexer()
             return ProcessShard(
-                shard_id, service_config, mp_context=service_config.mp_context
+                shard_id,
+                service_config,
+                mp_context=service_config.mp_context,
+                multiplexer=self._multiplexer,
             )
         return _InProcShard(shard_id, self.config)
 

@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
-import json
-import urllib.error
-import urllib.request
+import socket
+import threading
+import time
 
 import pytest
+from serving_helpers import StubBackend, get_json, post_json, raw_http
 
 from repro.serialization import problem_to_dict
 from repro.serving import PlanService, PlanServiceConfig, serve
+from repro.serving.http import MAX_BODY_BYTES
 from repro.workloads import credit_card_screening
 
 
@@ -24,26 +26,6 @@ def server():
         finally:
             plan_server.shutdown()
             plan_server.server_close()
-
-
-def post_json(url: str, payload: dict) -> tuple[int, dict]:
-    body = json.dumps(payload).encode("utf-8")
-    request = urllib.request.Request(
-        url, data=body, headers={"Content-Type": "application/json"}, method="POST"
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=30) as response:
-            return response.status, json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read().decode("utf-8"))
-
-
-def get_json(url: str) -> tuple[int, dict]:
-    try:
-        with urllib.request.urlopen(url, timeout=30) as response:
-            return response.status, json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read().decode("utf-8"))
 
 
 class TestPlanEndpoint:
@@ -131,6 +113,136 @@ class TestBatchEndpoint:
         )
         assert status == 400
         assert "budget_seconds" in payload["error"]
+
+
+class TestBodyFraming:
+    """Regression: Content-Length used to be trusted blindly."""
+
+    def address(self, server):
+        host, port = server.rsplit(":", 1)
+        return (host.removeprefix("http://"), int(port))
+
+    def test_missing_content_length_is_a_400(self, server):
+        status = raw_http(
+            self.address(server),
+            b"POST /plan HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        assert status == 400
+
+    def test_invalid_content_length_is_a_400(self, server):
+        status = raw_http(
+            self.address(server),
+            b"POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: nope\r\n\r\n",
+        )
+        assert status == 400
+
+    def test_oversized_body_is_a_413_without_reading_it(self, server):
+        # Declare a body over the bound but never send it: the server must
+        # answer from the header alone instead of blocking on a bounded read.
+        declared = MAX_BODY_BYTES + 1
+        started = time.monotonic()
+        status = raw_http(
+            self.address(server),
+            f"POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: {declared}\r\n\r\n".encode(),
+            half_close=False,
+        )
+        assert status == 413
+        assert time.monotonic() - started < 5.0
+
+    def test_truncated_body_is_a_400(self, server):
+        status = raw_http(
+            self.address(server),
+            b"POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: 1000\r\n\r\n{\"a\":",
+        )
+        assert status == 400
+
+
+class TestGracefulShutdown:
+    def test_in_flight_request_survives_graceful_close(self):
+        backend = StubBackend(delay=0.4)
+        plan_server = serve(backend, host="127.0.0.1", port=0)
+        plan_server.serve_in_background()
+        host, port = plan_server.server_address[:2]
+        statuses: list[int] = []
+
+        def request() -> None:
+            status, payload = post_json(
+                f"http://{host}:{port}/plan", problem_to_dict(credit_card_screening())
+            )
+            statuses.append(status)
+
+        thread = threading.Thread(target=request)
+        thread.start()
+        time.sleep(0.15)  # the request is now sleeping inside the backend
+        drained = plan_server.close_gracefully(timeout=5.0, close_backend=True)
+        thread.join(timeout=10.0)
+        assert statuses == [200]  # the in-flight request completed first
+        assert drained
+        assert backend.closed  # ... and only then was the backend closed
+
+    def test_drain_deadline_is_honoured(self):
+        backend = StubBackend(delay=1.5)
+        plan_server = serve(backend, host="127.0.0.1", port=0)
+        plan_server.serve_in_background()
+        host, port = plan_server.server_address[:2]
+        thread = threading.Thread(
+            target=lambda: post_json(
+                f"http://{host}:{port}/plan", problem_to_dict(credit_card_screening())
+            )
+        )
+        thread.start()
+        time.sleep(0.15)
+        started = time.monotonic()
+        drained = plan_server.close_gracefully(timeout=0.2)
+        assert not drained  # the handler outlived the deadline
+        assert time.monotonic() - started < 1.0
+        thread.join(timeout=10.0)
+
+    def test_graceful_close_without_serving_just_closes(self):
+        plan_server = serve(StubBackend(), host="127.0.0.1", port=0)
+        assert plan_server.close_gracefully(timeout=0.5)
+
+    def test_idle_keepalive_connection_does_not_stall_the_drain(self):
+        """Regression: the drain used to count open connections, so an idle
+        keep-alive handler parked between requests pinned the whole timeout."""
+        import http.client
+
+        plan_server = serve(StubBackend(), host="127.0.0.1", port=0)
+        plan_server.serve_in_background()
+        host, port = plan_server.server_address[:2]
+        idle = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            idle.request("GET", "/healthz")
+            idle.getresponse().read()  # answered; the connection stays open
+            time.sleep(0.1)
+            started = time.monotonic()
+            assert plan_server.close_gracefully(timeout=5.0)  # drains clean...
+            assert time.monotonic() - started < 3.0  # ...without the timeout
+        finally:
+            idle.close()
+
+    def test_graceful_close_with_saturated_connection_bound(self):
+        """Regression: a queued connection parked the accept loop in the slot
+        acquire, so shutdown() ignored the graceful deadline entirely."""
+        plan_server = serve(
+            StubBackend(), host="127.0.0.1", port=0,
+            max_connections=1, request_timeout=30.0,
+        )
+        plan_server.serve_in_background()
+        address = plan_server.server_address[:2]
+        stalled = socket.create_connection(address, timeout=10)
+        stalled.sendall(b"POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n")
+        time.sleep(0.15)  # the only slot is now held by a stalled handler
+        queued = socket.create_connection(address, timeout=10)
+        time.sleep(0.2)  # accepted, now parked waiting for a slot
+        try:
+            started = time.monotonic()
+            drained = plan_server.close_gracefully(timeout=0.5)
+            assert time.monotonic() - started < 3.0  # deadline honoured
+            assert not drained  # the stalled handler outlived it
+        finally:
+            stalled.close()
+            queued.close()
 
 
 class TestStatsAndHealth:

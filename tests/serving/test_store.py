@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import time
 
 import pytest
 
@@ -190,6 +191,71 @@ class TestSharedStore:
         stats = cache.stats()
         assert stats.hits == 1 and stats.stale_hits == 1 and stats.revalidations == 1
         assert cache.keys() == [fingerprint.key]
+
+    def test_same_tick_puts_evict_in_true_lru_order(self, tmp_path):
+        """Regression: equal mtimes (coarse filesystems) must not scramble LRU.
+
+        With second-granular timestamps every entry written in the same second
+        used to tie, making the eviction victim effectively random; the
+        monotonic sequence tie-break restores true LRU order.
+        """
+
+        class SameTickStore(SharedStore):
+            def _recency_ns(self, path):
+                return 1_000_000_000  # every file lands on one timestamp tick
+
+        store = SameTickStore(tmp_path / "plans", capacity=2)
+        a = entry_for(random_problem(4, 10))
+        b = entry_for(random_problem(4, 11))
+        c = entry_for(random_problem(4, 12))
+        store.put(*a)
+        store.put(*b)
+        store.touch(a[0])  # a is now more recent than b despite the mtime tie
+        assert store.put(*c) == 1
+        assert store.get(a[0]) is not None
+        assert store.get(b[0]) is None  # b, the true LRU, was the victim
+        assert store.get(c[0]) is not None
+
+    def test_steady_state_put_does_not_rescan_the_directory(self, tmp_path):
+        """Regression: eviction used to rescan the whole directory per insert."""
+
+        class CountingStore(SharedStore):
+            scans = 0
+
+            def _entry_paths(self):
+                self.scans += 1
+                return super()._entry_paths()
+
+        store = CountingStore(tmp_path / "plans", capacity=4)
+        for seed in range(10):
+            store.put(*entry_for(random_problem(4, seed)))
+        # One scan to build the index on first use; evicting steady-state puts
+        # run off the cached index without touching the directory listing.
+        assert store.scans == 1
+        assert len(store._index) == 4  # len(store) itself lists the directory
+        # ... until the periodic forced resync (every 64 puts) bounds the
+        # drift a same-timestamp-tick sibling write could have caused.
+        for seed in range(10, 70):
+            store.put(*entry_for(random_problem(4, seed)))
+        assert store.scans == 2
+        assert len(store) == 4
+
+    def test_external_change_invalidates_the_cached_index(self, tmp_path):
+        first = SharedStore(tmp_path / "plans", capacity=2)
+        second = SharedStore(tmp_path / "plans", capacity=2)
+        a = entry_for(random_problem(4, 13))
+        b = entry_for(random_problem(4, 14))
+        c = entry_for(random_problem(4, 15))
+        first.put(*a)
+        time.sleep(0.05)  # let the directory mtime tick past first's record
+        second.put(*b)  # external to `first`: bumps the directory mtime
+        time.sleep(0.05)
+        # first's next put must notice b, rescan, and evict the true LRU (a).
+        assert first.put(*c) == 1
+        assert first.get(a[0]) is None
+        assert first.get(b[0]) is not None
+        assert first.get(c[0]) is not None
+        assert len(first) == 2
 
     def test_mtime_recency_survives_processes(self, tmp_path):
         """Recency set by one store instance steers another's eviction."""

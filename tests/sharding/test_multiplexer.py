@@ -1,0 +1,106 @@
+"""Tests of the shard-response multiplexer: one selector loop, not N readers."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import ShardingError
+from repro.serving import PlanServiceConfig
+from repro.sharding import ProcessShard, ShardRouter, ShardRouterConfig
+from repro.sharding.multiplexer import ResponseMultiplexer, default_multiplexer
+
+
+def fast_config(**overrides) -> PlanServiceConfig:
+    defaults = dict(budget_seconds=None, algorithms=("greedy_min_term",))
+    defaults.update(overrides)
+    return PlanServiceConfig(**defaults)
+
+
+def reader_thread_names() -> list[str]:
+    return [t.name for t in threading.enumerate() if t.name.startswith("shard-reader-")]
+
+
+def mux_thread_names() -> list[str]:
+    return [t.name for t in threading.enumerate() if t.name == "shard-mux"]
+
+
+class TestSingleLoop:
+    def test_process_shards_share_one_multiplexer_thread(self, make_random_problem):
+        """The ROADMAP limitation: N process shards must not pin N reader threads."""
+        before = default_multiplexer().ports()
+        config = ShardRouterConfig(
+            shards=3, backend="processes", service_config=fast_config()
+        )
+        with ShardRouter(config) as router:
+            assert reader_thread_names() == []  # the old per-shard readers
+            assert len(mux_thread_names()) == 1  # one selector loop for all shards
+            assert router.multiplexer.ports() == before + 3
+            # ... and it actually serves traffic.
+            response = router.submit(make_random_problem(5, 0))
+            assert sorted(response.order) == list(range(5))
+        assert default_multiplexer().ports() == before
+
+    def test_standalone_shard_registers_and_unregisters(self, make_random_problem):
+        before = default_multiplexer().ports()
+        shard = ProcessShard("solo", fast_config())
+        try:
+            assert default_multiplexer().ports() == before + 1
+            response = shard.submit(make_random_problem(4, 1))
+            assert sorted(response.order) == list(range(4))
+        finally:
+            shard.close()
+        assert default_multiplexer().ports() == before
+
+    def test_concurrent_submissions_correlate_through_one_loop(self, make_random_problem):
+        """Interleaved answers from several shards reach the right waiters."""
+        config = ShardRouterConfig(
+            shards=2, backend="processes", service_config=fast_config()
+        )
+        problems = [make_random_problem(5, seed) for seed in range(10)]
+        with ShardRouter(config) as router:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                responses = list(pool.map(router.submit, problems))
+        for problem, response in zip(problems, responses):
+            assert response.cost == pytest.approx(problem.cost(response.order))
+
+
+class TestDeathAndShutdown:
+    def test_dead_shard_fails_in_flight_requests(self, make_random_problem):
+        shard = ProcessShard("doomed", fast_config())
+        try:
+            shard.submit(make_random_problem(4, 2))  # warm: the child is up
+            shard._process.terminate()
+            shard._process.join(timeout=5.0)
+            with pytest.raises(ShardingError, match="died"):
+                shard.submit(make_random_problem(4, 3))
+        finally:
+            shard.close()
+
+    def test_closed_private_multiplexer_rejects_registration(self):
+        mux = ResponseMultiplexer(name="test-mux")
+        mux.close()
+        with pytest.raises(RuntimeError):
+            mux.register(None, on_message=lambda item: None)
+
+    def test_private_multiplexer_dispatches_and_stops(self, make_random_problem):
+        mux = ResponseMultiplexer(name="test-mux-2")
+        shard = ProcessShard("private", fast_config(), multiplexer=mux)
+        try:
+            response = shard.submit(make_random_problem(4, 4))
+            assert sorted(response.order) == list(range(4))
+            assert shard.multiplexer is mux
+            assert mux.thread_name == "test-mux-2"
+        finally:
+            shard.close()
+            mux.close()
+        # The loop thread exits promptly once closed.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not any(t.name == "test-mux-2" for t in threading.enumerate()):
+                break
+            time.sleep(0.05)
+        assert not any(t.name == "test-mux-2" for t in threading.enumerate())

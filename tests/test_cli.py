@@ -149,6 +149,20 @@ class TestServe:
         assert main(["serve", "--port", "0", "--shards", "0"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_serve_async_binds_and_shuts_down(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        # Substitute the foreground wait with an immediate interrupt so the
+        # command exercises the async startup + graceful shutdown path.
+        def fake_wait():
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "_wait_forever", fake_wait)
+        assert main(["serve", "--port", "0", "--budget", "0.2", "--async"]) == 0
+        output = capsys.readouterr().out
+        assert "async front end" in output
+        assert "shutting down" in output
+
 
 class TestScenariosAndExperiments:
     def test_list_scenarios(self, capsys):
