@@ -15,6 +15,8 @@ writing Python:
 * ``repro plan``       — answer plan requests through the serving subsystem
   (portfolio race under a latency budget, optionally cached),
 * ``repro serve``      — run the long-running JSON/HTTP plan service,
+* ``repro top``        — poll a running server's ``GET /metrics`` and render
+  request and per-shard load,
 * ``repro bench``      — run one of the repository's benchmark modules and
   write its JSON artifact.
 
@@ -183,6 +185,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="run background drift/staleness refreshes on service threads or "
         "on a worker-process pool (off the request path)",
     )
+    serve_cmd.add_argument(
+        "--observability",
+        action="store_true",
+        help="enable request tracing, the span store and the slow-request "
+        "log (GET /metrics serves Prometheus text either way)",
+    )
+    serve_cmd.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=None,
+        help="log requests slower than this many seconds to GET /slowlog "
+        "(implies nothing by itself: combine with --observability)",
+    )
+
+    top = subparsers.add_parser(
+        "top", help="poll a running server's GET /metrics and render per-shard load"
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the running plan server (default: http://127.0.0.1:8080)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls (default: 2)"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="number of polls before exiting (0 = poll until interrupted)",
+    )
+    top.add_argument("--json", action="store_true", help="print each poll as a JSON document")
 
     bench = subparsers.add_parser(
         "bench", help="run a benchmark module (benchmarks/bench_<name>.py) and write its JSON"
@@ -322,6 +356,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         mp_context=args.mp_context,
         cache_store_dir=args.share_cache_dir,
         revalidation_backend=args.revalidation_backend,
+        observability=args.observability,
+        slow_request_seconds=args.slow_threshold,
     )
     if args.shards > 1:
         from repro.sharding import ShardRouter, ShardRouterConfig
@@ -356,7 +392,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             ) from error
         print(
             f"plan service ({topology}) listening on http://{host}:{port} "
-            f"({flavour}POST /plan, POST /plan/batch, GET /stats)"
+            f"({flavour}POST /plan, POST /plan/batch, GET /stats, GET /metrics)"
         )
         try:
             if args.use_async:
@@ -374,6 +410,123 @@ def _command_serve(args: argparse.Namespace) -> int:
             else:
                 front_end.close_gracefully(timeout=args.graceful_timeout)
     return 0
+
+
+def _scrape_metrics(base_url: str) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """Fetch and parse ``GET /metrics`` of a running plan server."""
+    import urllib.error
+    import urllib.request
+
+    from repro.obs import parse_prometheus_text
+
+    url = base_url.rstrip("/") + "/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        raise ReproError(f"cannot scrape {url}: {error}") from error
+    return parse_prometheus_text(text)
+
+
+def _top_snapshot(
+    samples: dict[str, dict[tuple[tuple[str, str], ...], float]],
+) -> dict[str, object]:
+    """Collapse one scrape into the figures ``repro top`` renders."""
+    from repro.obs import labelled
+
+    def total(name: str) -> float:
+        return sum(samples.get(name, {}).values())
+
+    return {
+        # A shard router's /metrics carries routing + HTTP series only (the
+        # per-service counters live in the shard processes); absence is
+        # recorded so the renderer can skip the line instead of showing 0.
+        "has_service_counters": "repro_requests_answered_total" in samples,
+        "answered": total("repro_requests_answered_total"),
+        "by_source": labelled(samples.get("repro_requests_answered_total", {}), "source"),
+        "rejected": total("repro_requests_rejected_total"),
+        "failed": total("repro_requests_failed_total"),
+        "http_requests": total("repro_http_requests_total"),
+        "by_shard": labelled(samples.get("repro_router_requests_total", {}), "shard"),
+        "kernel_evaluations": labelled(
+            samples.get("repro_kernel_evaluations_total", {}), "kind"
+        ),
+    }
+
+
+def _render_top(
+    snapshot: dict[str, object],
+    previous: dict[str, object] | None,
+    interval: float,
+    url: str,
+    poll: int,
+) -> str:
+    """One human-readable ``repro top`` frame."""
+
+    def rate(now: float, label: str, table: str = "") -> str:
+        if previous is None:
+            return ""
+        if table:
+            before = previous.get(table, {}).get(label, 0.0)  # type: ignore[union-attr]
+        else:
+            before = previous.get(label, 0.0)  # type: ignore[arg-type]
+        return f"  (+{max(0.0, now - before) / interval:.1f}/s)"
+
+    sources = ", ".join(
+        f"{name}={int(value)}" for name, value in sorted(snapshot["by_source"].items())
+    )
+    lines = [f"repro top — {url}  (poll {poll})"]
+    if snapshot.get("has_service_counters", True):
+        lines.append(
+            f"  requests: answered={int(snapshot['answered'])}"
+            + (f" [{sources}]" if sources else "")
+            + f"  rejected={int(snapshot['rejected'])}  failed={int(snapshot['failed'])}"
+            + rate(snapshot["answered"], "answered")
+        )
+    lines.append(
+        f"  http: {int(snapshot['http_requests'])} served"
+        + rate(snapshot["http_requests"], "http_requests")
+    )
+    by_shard = snapshot["by_shard"]
+    if by_shard:
+        lines.append("  shard load (requests routed):")
+        width = max(len(shard) for shard in by_shard)
+        for shard, count in sorted(by_shard.items()):
+            lines.append(
+                f"    {shard:<{width}}  {int(count)}" + rate(count, shard, "by_shard")
+            )
+    kernel = snapshot["kernel_evaluations"]
+    if kernel:
+        lines.append(
+            "  kernel evaluations: "
+            + ", ".join(f"{kind}={int(count)}" for kind, count in sorted(kernel.items()))
+        )
+    return "\n".join(lines)
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    import time
+
+    if args.interval <= 0:
+        raise ReproError(f"--interval must be positive, got {args.interval!r}")
+    if args.iterations < 0:
+        raise ReproError(f"--iterations must be >= 0, got {args.iterations!r}")
+    previous: dict[str, object] | None = None
+    poll = 0
+    try:
+        while True:
+            poll += 1
+            snapshot = _top_snapshot(_scrape_metrics(args.url))
+            if args.json:
+                print(json.dumps({"poll": poll, **snapshot}, sort_keys=True))
+            else:
+                print(_render_top(snapshot, previous, args.interval, args.url, poll))
+            previous = snapshot
+            if args.iterations and poll >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 def _command_scenarios(args: argparse.Namespace) -> int:
@@ -449,6 +602,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _command_experiment,
         "plan": _command_plan,
         "serve": _command_serve,
+        "top": _command_top,
         "bench": _command_bench,
         "report": _command_report,
     }

@@ -43,15 +43,95 @@ that position (same remaining multiplication chain, hence identical terms).
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.problem import OrderingProblem
 
-__all__ = ["PlanEvaluator", "PrefixState", "NeighborhoodEvaluator"]
+__all__ = [
+    "PlanEvaluator",
+    "PrefixState",
+    "NeighborhoodEvaluator",
+    "KernelProfile",
+    "enable_kernel_profiling",
+    "disable_kernel_profiling",
+    "kernel_profile",
+]
 
 _INF = float("inf")
 _NEG_INF = float("-inf")
+
+
+class KernelProfile:
+    """Counts of kernel evaluations since profiling was enabled.
+
+    The counters are plain attribute increments guarded by a single
+    ``is not None`` check in the hot loops — cheap enough to leave on in a
+    serving process, absent entirely when profiling is off.  Increments are
+    not locked: under free threading concurrent updates may drop a tick,
+    which is acceptable for rate estimation (counts are exact in the
+    single-threaded optimizer processes where most evaluation happens).
+    """
+
+    __slots__ = ("full_evaluations", "bounded_evaluations", "delta_evaluations", "started")
+
+    def __init__(self) -> None:
+        self.full_evaluations = 0
+        """Complete-plan scores (:meth:`PlanEvaluator.cost`)."""
+        self.bounded_evaluations = 0
+        """Short-circuited scores (:meth:`PlanEvaluator.cost_bounded`)."""
+        self.delta_evaluations = 0
+        """Neighborhood delta scans (:meth:`NeighborhoodEvaluator._scan`)."""
+        self.started = time.perf_counter()
+
+    def counts(self) -> dict[str, int]:
+        """The raw counters, keyed by kind."""
+        return {
+            "full": self.full_evaluations,
+            "bounded": self.bounded_evaluations,
+            "delta": self.delta_evaluations,
+        }
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Counters plus derived rates, JSON-ready for a stats endpoint."""
+        elapsed = time.perf_counter() - self.started
+        total = self.full_evaluations + self.bounded_evaluations + self.delta_evaluations
+        full_or_bounded = self.full_evaluations + self.bounded_evaluations
+        return {
+            "full_evaluations": self.full_evaluations,
+            "bounded_evaluations": self.bounded_evaluations,
+            "delta_evaluations": self.delta_evaluations,
+            "evaluations_per_second": total / elapsed if elapsed > 0 else 0.0,
+            # How much work delta evaluation displaced: the share of scoring
+            # answered by windowed scans instead of full/bounded passes.
+            "delta_share": self.delta_evaluations / total if total else 0.0,
+            "delta_vs_full": (
+                self.delta_evaluations / full_or_bounded if full_or_bounded else 0.0
+            ),
+        }
+
+
+_profile: KernelProfile | None = None
+
+
+def enable_kernel_profiling() -> KernelProfile:
+    """Turn on kernel evaluation counting (idempotent); returns the profile."""
+    global _profile
+    if _profile is None:
+        _profile = KernelProfile()
+    return _profile
+
+
+def disable_kernel_profiling() -> None:
+    """Turn counting off and drop the profile."""
+    global _profile
+    _profile = None
+
+
+def kernel_profile() -> KernelProfile | None:
+    """The live profile, or ``None`` when profiling is off."""
+    return _profile
 
 
 class PlanEvaluator:
@@ -106,6 +186,8 @@ class PlanEvaluator:
 
         Bit-identical to :func:`repro.core.cost_model.bottleneck_cost`.
         """
+        if _profile is not None:
+            _profile.full_evaluations += 1
         costs = self.costs
         selectivities = self.selectivities
         rows = self.rows
@@ -132,6 +214,8 @@ class PlanEvaluator:
         is a valid *lower* bound of it (the plan is certainly no better than
         ``bound``, so an incumbent-driven caller can discard it).
         """
+        if _profile is not None:
+            _profile.bounded_evaluations += 1
         costs = self.costs
         selectivities = self.selectivities
         rows = self.rows
@@ -344,6 +428,8 @@ class PrefixState:
         extension completes the plan, so a complete state's ``epsilon`` *is*
         the plan's bottleneck cost.
         """
+        if _profile is not None:
+            _profile.delta_evaluations += 1
         evaluator = self.evaluator
         costs = evaluator.costs
         selectivities = evaluator.selectivities
@@ -518,6 +604,8 @@ class NeighborhoodEvaluator:
 
     def _scan(self, moved: list[int], start: int, high: int, bound: float) -> float:
         """Re-score ``moved`` from ``start``; positions past ``high`` match the base."""
+        if _profile is not None:
+            _profile.delta_evaluations += 1
         evaluator = self.evaluator
         costs = evaluator.costs
         selectivities = evaluator.selectivities

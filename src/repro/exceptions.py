@@ -82,3 +82,7 @@ class AdmissionError(ServingError):
 
 class ShardingError(ServingError):
     """The sharded serving tier was misconfigured or a shard failed."""
+
+
+class ObservabilityError(ReproError):
+    """The observability subsystem (metrics/tracing) was misconfigured."""

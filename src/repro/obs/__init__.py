@@ -1,0 +1,173 @@
+"""Observability for the serving stack: metrics, traces, slow-request log.
+
+The stack spans five layers (fingerprint cache → portfolio → optimizer pool →
+consistent-hash shards → HTTP front ends); this package is the stdlib-only
+instrumentation layer that makes a slow request explainable and a hot shard
+visible:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: named counters,
+  gauges and fixed-bucket histograms with labels, rendered in the Prometheus
+  text format by ``GET /metrics`` on both front ends, and parsed back by the
+  ``repro top`` CLI.
+* :mod:`repro.obs.trace` — request-scoped :class:`~repro.obs.trace.Span`
+  trees: a ``trace_id`` minted at the front end (or adopted from an
+  ``X-Trace-Id`` header) flows through service, cache, portfolio and across
+  the shard/pool process boundaries; remote spans ship back inside existing
+  response payloads and stitch into one tree.  When tracing is off, spans
+  are a shared no-op object — the off-path cost is one contextvar read.
+* :mod:`repro.obs.store` — :class:`~repro.obs.store.SpanStore` (ring buffer
+  behind ``GET /trace/<id>``) and :class:`~repro.obs.store.SlowLog`
+  (requests beyond a configurable latency threshold).
+
+:class:`Observability` bundles the three per owning component (a
+``PlanService`` or a ``ShardRouter`` each carry their own, so per-shard
+counters stay per-shard); :class:`ObservabilityConfig` is the knob surface
+(:attr:`~repro.serving.service.PlanServiceConfig.observability` plumbs it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labelled,
+    parse_prometheus_text,
+)
+from repro.obs.store import (
+    DEFAULT_SLOW_LOG_CAPACITY,
+    DEFAULT_TRACE_CAPACITY,
+    SlowLog,
+    SpanStore,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    ActiveTrace,
+    Span,
+    activate_trace,
+    capture,
+    current_trace,
+    emit_spans,
+    new_trace_id,
+    span_from_dict,
+    trace_span,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SLOW_LOG_CAPACITY",
+    "DEFAULT_TRACE_CAPACITY",
+    "NOOP_SPAN",
+    "ActiveTrace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityConfig",
+    "SlowLog",
+    "Span",
+    "SpanStore",
+    "activate_trace",
+    "capture",
+    "current_trace",
+    "emit_spans",
+    "labelled",
+    "new_trace_id",
+    "parse_prometheus_text",
+    "span_from_dict",
+    "trace_span",
+]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tunables of one :class:`Observability` bundle."""
+
+    enabled: bool = False
+    """Whether trace spans are produced and collected.  Metrics counters are
+    always live (they are a handful of locked adds); tracing is the part
+    with per-request allocation, hence the flag."""
+
+    slow_request_seconds: float | None = None
+    """Root spans at least this slow enter the slow log (``None`` disables)."""
+
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    """Traces the ring-buffer span store retains."""
+
+    slow_log_capacity: int = DEFAULT_SLOW_LOG_CAPACITY
+    """Entries the slow log retains."""
+
+    def __post_init__(self) -> None:
+        if self.slow_request_seconds is not None and self.slow_request_seconds < 0:
+            raise ObservabilityError(
+                f"slow_request_seconds must be non-negative, "
+                f"got {self.slow_request_seconds!r}"
+            )
+        if self.trace_capacity < 1:
+            raise ObservabilityError(
+                f"trace_capacity must be at least 1, got {self.trace_capacity!r}"
+            )
+        if self.slow_log_capacity < 1:
+            raise ObservabilityError(
+                f"slow_log_capacity must be at least 1, got {self.slow_log_capacity!r}"
+            )
+
+
+class Observability:
+    """One component's registry + span store + slow log, behind one config."""
+
+    def __init__(self, config: ObservabilityConfig | None = None) -> None:
+        self.config = config if config is not None else ObservabilityConfig()
+        self.registry = MetricsRegistry()
+        self.spans = SpanStore(capacity=self.config.trace_capacity)
+        self.slow_log = SlowLog(
+            self.config.slow_request_seconds, capacity=self.config.slow_log_capacity
+        )
+        self._http_requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route, method and status.",
+            labelnames=("route", "method", "status"),
+        )
+        self._http_latency = self.registry.histogram(
+            "repro_http_request_seconds",
+            "End-to-end HTTP request latency, by route.",
+            labelnames=("route",),
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether tracing is on (metrics are always on)."""
+        return self.config.enabled
+
+    # -- recording ---------------------------------------------------------
+
+    def observe_http(self, route: str, method: str, status: int, duration: float) -> None:
+        """Count one served HTTP request and feed the latency histogram."""
+        self._http_requests.inc(route=route, method=method, status=status)
+        self._http_latency.observe(duration, route=route)
+
+    def record_trace(self, active: ActiveTrace) -> None:
+        """Store a finished activation's spans; slow roots enter the slow log.
+
+        Spans are handed to the store as-is (finished :class:`Span` objects
+        or wire dicts) — flattening to documents happens lazily when a trace
+        is actually read, keeping this request-path call cheap.
+        """
+        spans = list(active.spans)
+        if not spans:
+            return
+        self.spans.add(active.trace_id, spans)
+        if self.slow_log.threshold_seconds is not None:
+            for span in spans:
+                parent = (
+                    span.parent_id if isinstance(span, Span) else span.get("parent_id")
+                )
+                if parent is None:
+                    self.slow_log.record(span)

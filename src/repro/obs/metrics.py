@@ -1,0 +1,413 @@
+"""A process-local metrics registry with Prometheus text exposition.
+
+The serving stack needs counters ("requests answered, by source"), gauges
+("cache entries right now") and latency histograms that one scrape endpoint
+can render — without taking a dependency on a metrics client library.  This
+module is that registry, stdlib-only:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — named metrics with
+  optional label dimensions.  Every mutation takes the metric's own lock, so
+  counters are *exact* under concurrency (no lost increments), which the
+  tier-1 suite asserts with 8 hammering threads.
+* :class:`MetricsRegistry` — the per-process (or per-service) collection.
+  ``counter()``/``gauge()``/``histogram()`` are get-or-create, so independent
+  subsystems can name the same metric and share the series.
+  :meth:`MetricsRegistry.render` emits the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` comments, ``name{label="v"} value`` samples,
+  cumulative ``_bucket``/``_sum``/``_count`` histogram series), which is what
+  ``GET /metrics`` serves on both HTTP front ends.
+* render-time callbacks (:meth:`MetricsRegistry.register_callback`) let
+  owners refresh gauges that are cheaper to sample than to track (cache
+  size, kernel profile counters) exactly once per scrape.
+* :func:`parse_prometheus_text` — the matching parser, used by the
+  ``repro top`` CLI and the tests; round-trips everything ``render`` emits.
+
+Histograms use *fixed* bucket boundaries chosen at creation
+(:data:`DEFAULT_LATENCY_BUCKETS` spans 0.5 ms – 10 s), so merging scrapes
+across processes or over time is just addition — the property Prometheus'
+own client enforces for the same reason.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.exceptions import ObservabilityError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "labelled",
+    "parse_prometheus_text",
+]
+
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+"""Default histogram boundaries (seconds): 0.5 ms cache hits to 10 s races."""
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _validate_name(name: str, what: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(f"invalid {what} name {name!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus sample value: integers without a trailing ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Metric:
+    """Shared machinery of every metric kind: naming, labels, one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        self.name = _validate_name(name, "metric")
+        self.help = help
+        self.labelnames = tuple(_validate_name(label, "label") for label in labelnames)
+        if not all(_LABEL_RE.match(label) for label in self.labelnames):
+            raise ObservabilityError(f"invalid label names {self.labelnames!r}")
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        return tuple(str(labels[label]) for label in self.labelnames)
+
+    def _render_labels(self, key: tuple[str, ...], extra: str = "") -> str:
+        pairs = [
+            f'{label}="{_escape_label_value(value)}"'
+            for label, value in zip(self.labelnames, key)
+        ]
+        if extra:
+            pairs.append(extra)
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    def render(self) -> list[str]:  # pragma: no cover - overridden by every kind
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically non-decreasing sum, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (>= 0); ``inc(0)`` pre-touches a labelled series."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount!r}))"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def values(self) -> dict[tuple[str, ...], float]:
+        """Every labelled series (``{(): total}`` for an unlabelled counter)."""
+        with self._lock:
+            return dict(self._series)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            series = sorted(self._series.items())
+        if not series and not self.labelnames:
+            series = [((), 0.0)]
+        return [
+            f"{self.name}{self._render_labels(key)} {_format_value(value)}"
+            for key, value in series
+        ]
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (pending requests, cache entries)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            series = sorted(self._series.items())
+        if not series and not self.labelnames:
+            series = [((), 0.0)]
+        return [
+            f"{self.name}{self._render_labels(key)} {_format_value(value)}"
+            for key, value in series
+        ]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket cumulative histogram (Prometheus ``_bucket``/``_sum``/``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        boundaries = tuple(float(bound) for bound in buckets)
+        if not boundaries or list(boundaries) != sorted(set(boundaries)):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be strictly increasing, got {buckets!r}"
+            )
+        self.buckets = boundaries
+        # Per label key: ([per-bucket counts..., +Inf count], sum).
+        self._series: dict[tuple[str, ...], tuple[list[int], float]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            entry = self._series.get(key)
+            if entry is None:
+                entry = ([0] * (len(self.buckets) + 1), 0.0)
+                self._series[key] = entry
+            counts, total = entry
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._series[key] = (counts, total + value)
+
+    def snapshot(self, **labels: object) -> dict[str, object]:
+        """``{"count", "sum", "buckets": {le: cumulative}}`` of one series."""
+        key = self._key(labels)
+        with self._lock:
+            entry = self._series.get(key)
+            counts, total = entry if entry is not None else ([0] * (len(self.buckets) + 1), 0.0)
+            counts = list(counts)
+        cumulative: dict[float, int] = {}
+        running = 0
+        for bound, count in zip((*self.buckets, math.inf), counts):
+            running += count
+            cumulative[bound] = running
+        return {"count": running, "sum": total, "buckets": cumulative}
+
+    def render(self) -> list[str]:
+        with self._lock:
+            series = sorted((key, (list(counts), total)) for key, (counts, total) in self._series.items())
+        lines: list[str] = []
+        for key, (counts, total) in series:
+            running = 0
+            for bound, count in zip(self.buckets, counts):
+                running += count
+                le = 'le="{}"'.format(_format_value(bound))
+                lines.append(f"{self.name}_bucket{self._render_labels(key, le)} {running}")
+            running += counts[-1]
+            inf_label = 'le="+Inf"'
+            lines.append(
+                f"{self.name}_bucket{self._render_labels(key, inf_label)} {running}"
+            )
+            lines.append(f"{self.name}_sum{self._render_labels(key)} {_format_value(total)}")
+            lines.append(f"{self.name}_count{self._render_labels(key)} {running}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self._callbacks: list[Callable[[], None]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram) or existing.labelnames != tuple(labelnames):
+                    raise ObservabilityError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind} with labels {existing.labelnames!r}"
+                    )
+                return existing
+            metric = Histogram(name, help, buckets, labelnames)
+            self._metrics[name] = metric
+            return metric
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames: Sequence[str]):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ObservabilityError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind} with labels {existing.labelnames!r}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames)
+            self._metrics[name] = metric
+            return metric
+
+    def get(self, name: str) -> _Metric | None:
+        """The registered metric named ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def register_callback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the start of every :meth:`render` (gauge refresh)."""
+        with self._lock:
+            self._callbacks.append(callback)
+
+    # -- exposition --------------------------------------------------------
+
+    def render(self) -> str:
+        """The whole registry in the Prometheus text exposition format."""
+        with self._lock:
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 - a scrape must never fail on a refresh
+                pass
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: list[str] = []
+        for name, metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """Parse :meth:`MetricsRegistry.render` output (or any Prometheus text).
+
+    Returns ``{metric_name: {((label, value), ...): sample}}``; unlabelled
+    samples use the empty tuple as key.  Comment and blank lines are skipped,
+    malformed sample lines ignored — the parser serves a live CLI, not a
+    validator.
+    """
+    samples: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        raw = match.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            continue
+        labels = tuple(
+            (name, text_value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\"))
+            for name, text_value in _LABEL_PAIR_RE.findall(match.group("labels") or "")
+        )
+        samples.setdefault(match.group("name"), {})[labels] = value
+    return samples
+
+
+def labelled(
+    samples: Mapping[tuple[tuple[str, str], ...], float], label: str
+) -> dict[str, float]:
+    """Collapse one metric's samples onto a single label dimension.
+
+    ``labelled(parsed["repro_router_requests_total"], "shard")`` gives
+    ``{"shard-0": 12.0, ...}`` — what ``repro top`` renders.  Samples missing
+    the label are skipped; duplicates (other label dims) are summed.
+    """
+    collapsed: dict[str, float] = {}
+    for key, value in samples.items():
+        for name, label_value in key:
+            if name == label:
+                collapsed[label_value] = collapsed.get(label_value, 0.0) + value
+                break
+    return collapsed

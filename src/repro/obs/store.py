@@ -1,0 +1,165 @@
+"""Where finished traces go: a ring-buffer span store and a slow-request log.
+
+The store answers ``GET /trace/<id>`` without any external collector: the
+front end records each completed request's spans here, bounded to the most
+recent ``capacity`` traces (a ring buffer over an :class:`OrderedDict`), and
+:meth:`SpanStore.tree` stitches one trace's spans — local and shipped back
+from shard/worker processes alike — into a parent/child tree ordered by
+start time.  Spans whose parent is missing (dropped by eviction, or produced
+by a process whose root arrived first) surface as roots instead of
+disappearing, so a partially collected trace still renders.
+
+:class:`SlowLog` keeps the most recent N requests whose root span exceeded a
+configurable latency threshold — the "what was slow lately?" question
+answered without scraping a histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ObservabilityError
+from repro.obs.trace import Span
+
+__all__ = ["SlowLog", "SpanStore"]
+
+DEFAULT_TRACE_CAPACITY = 256
+"""Traces retained by a :class:`SpanStore` before the oldest is evicted."""
+
+DEFAULT_SLOW_LOG_CAPACITY = 128
+"""Slow-request entries retained by a :class:`SlowLog`."""
+
+
+def _as_dict(span: Span | Mapping[str, Any]) -> dict[str, Any]:
+    return span.to_dict() if isinstance(span, Span) else dict(span)
+
+
+class SpanStore:
+    """The most recent ``capacity`` traces, keyed by trace id."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be at least 1, got {capacity!r}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, list[Span | Mapping[str, Any]]]" = OrderedDict()
+
+    def add(self, trace_id: str, spans: Iterable[Span | Mapping[str, Any]]) -> None:
+        """Append ``spans`` to ``trace_id`` (created and marked recent).
+
+        Spans are stored as handed in — finished :class:`Span` objects or
+        wire dicts — and flattened lazily on read: recording happens on the
+        request path, reading on the rare ``GET /trace/<id>``.
+        """
+        documents = list(spans)
+        with self._lock:
+            existing = self._traces.get(trace_id)
+            if existing is None:
+                self._traces[trace_id] = documents
+            else:
+                existing.extend(documents)
+                self._traces.move_to_end(trace_id)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> list[dict[str, Any]] | None:
+        """The flat span documents of one trace (insertion order), or ``None``."""
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            if spans is None:
+                return None
+            spans = list(spans)
+        return [_as_dict(span) for span in spans]
+
+    def tree(self, trace_id: str) -> dict[str, Any] | None:
+        """One trace stitched into a parent/child tree, or ``None`` unknown.
+
+        Returns ``{"trace_id", "span_count", "duration_seconds", "roots"}``
+        where every node is its span document plus a ``children`` list,
+        children ordered by start time.  Spans with an unknown parent become
+        roots, so trees survive partial collection.
+        """
+        spans = self.get(trace_id)
+        if spans is None:
+            return None
+        nodes = {span["span_id"]: {**span, "children": []} for span in spans}
+        roots: list[dict[str, Any]] = []
+        for span in spans:
+            node = nodes[span["span_id"]]
+            parent = nodes.get(span.get("parent_id") or "")
+            if parent is None or parent is node:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        for node in nodes.values():
+            node["children"].sort(key=lambda child: child["start"])
+        roots.sort(key=lambda node: node["start"])
+        return {
+            "trace_id": trace_id,
+            "span_count": len(spans),
+            "duration_seconds": max((span["duration"] for span in roots), default=0.0),
+            "roots": roots,
+        }
+
+    def trace_ids(self) -> list[str]:
+        """Retained trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class SlowLog:
+    """A bounded log of requests slower than ``threshold_seconds``.
+
+    ``threshold_seconds=None`` disables recording entirely (the default when
+    no ``slow_request_seconds`` is configured).
+    """
+
+    def __init__(
+        self,
+        threshold_seconds: float | None,
+        capacity: int = DEFAULT_SLOW_LOG_CAPACITY,
+    ) -> None:
+        if threshold_seconds is not None and threshold_seconds < 0:
+            raise ObservabilityError(
+                f"threshold_seconds must be non-negative, got {threshold_seconds!r}"
+            )
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be at least 1, got {capacity!r}")
+        self.threshold_seconds = threshold_seconds
+        self._lock = threading.Lock()
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def record(self, span: Span | Mapping[str, Any]) -> bool:
+        """Log ``span`` if it breaches the threshold; returns whether it did."""
+        if self.threshold_seconds is None:
+            return False
+        duration = span.duration if isinstance(span, Span) else span.get("duration", 0.0)
+        if duration < self.threshold_seconds:
+            return False
+        document = _as_dict(span)
+        with self._lock:
+            self._entries.append(
+                {
+                    "trace_id": document.get("trace_id"),
+                    "name": document.get("name"),
+                    "start": document.get("start"),
+                    "duration_seconds": document.get("duration"),
+                    "annotations": dict(document.get("annotations", {})),
+                }
+            )
+        return True
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Logged entries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -19,11 +19,23 @@ from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult, SearchStatistics
 from repro.exceptions import ParallelError
 
+# Trace spans cross the same process boundaries as results do (shipped back
+# inside worker/shard response tuples); their wire form is the flat dict of
+# Span.to_dict.  Re-exported here so every parallel wire codec — results and
+# spans alike — is reachable from one module.
+from repro.obs.trace import span_from_dict as span_from_wire
+from repro.obs.trace import Span
+
+span_to_wire = Span.to_dict
+"""Collapse a :class:`~repro.obs.trace.Span` into its flat wire dict."""
+
 __all__ = [
     "result_to_wire",
     "result_from_wire",
     "statistics_to_wire",
     "statistics_from_wire",
+    "span_to_wire",
+    "span_from_wire",
 ]
 
 RESULT_WIRE_VERSION = 1

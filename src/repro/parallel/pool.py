@@ -45,6 +45,7 @@ from typing import Mapping, Sequence
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult
 from repro.exceptions import OptimizationError, ParallelError, ReproError
+from repro.obs.trace import Span, current_trace, emit_spans
 from repro.parallel.codec import result_from_wire, result_to_wire
 from repro.serialization import problem_from_wire, problem_to_wire
 
@@ -108,27 +109,53 @@ def _worker_main(tasks, results, warm_cache_size: int) -> None:
 
     from repro.core.optimizer import optimize  # after fork/spawn, in the child
 
+    import time
+
     cache: "OrderedDict[tuple, OrderingProblem]" = OrderedDict()
     while True:
         task = tasks.get()
         if task is _SHUTDOWN or task is None:
             break
-        task_id, payload, algorithm, options = task
+        task_id, payload, algorithm, options, trace = task
+        # Traced tasks time themselves with one worker.optimize span that
+        # ships back alongside the result and is stitched into the caller's
+        # tree in the parent process.
+        span = None
+        if trace is not None:
+            span = Span(trace[0], "worker.optimize", parent_id=trace[1])
+            span.annotate(backend="pool", algorithm=algorithm)
+            started = time.perf_counter()
+        warm = False
         try:
             problem, warm = _decode_cached(payload, cache, warm_cache_size)
             result = optimize(problem, algorithm=algorithm, **dict(options))
         except ReproError as error:
-            results.put((task_id, False, f"{type(error).__name__}: {error}", False))
+            answer = (task_id, False, f"{type(error).__name__}: {error}", False)
         except TypeError as error:
-            results.put((task_id, False, f"{algorithm} rejected the options: {error}", False))
+            answer = (task_id, False, f"{algorithm} rejected the options: {error}", False)
         else:
-            results.put((task_id, True, result_to_wire(result), warm))
+            answer = (task_id, True, result_to_wire(result), warm)
+        if span is not None:
+            span.duration = time.perf_counter() - started
+            span.annotate(ok=answer[1], warm=warm)
+            results.put((*answer, [span.to_dict()]))
+        else:
+            results.put((*answer, []))
 
 
 class _PendingBatch:
     """Parent-side bookkeeping of one in-flight :meth:`optimize_many` call."""
 
-    __slots__ = ("position_of_task", "remaining", "wires", "errors", "warm_hits", "failure", "done")
+    __slots__ = (
+        "position_of_task",
+        "remaining",
+        "wires",
+        "errors",
+        "warm_hits",
+        "failure",
+        "spans",
+        "done",
+    )
 
     def __init__(self, position_of_task: dict[int, int]) -> None:
         self.position_of_task = position_of_task
@@ -137,6 +164,7 @@ class _PendingBatch:
         self.errors: dict[int, str] = {}
         self.warm_hits = 0
         self.failure: str | None = None
+        self.spans: list[dict] = []
         self.done = threading.Event()
 
 
@@ -262,6 +290,7 @@ class OptimizerPool:
                 first_position[payload] = position
                 unique_positions.append(position)
 
+        trace = current_trace()
         tasks = []
         with self._state_lock:
             if self._closed:
@@ -271,7 +300,9 @@ class OptimizerPool:
                 task_id = self._next_task_id
                 self._next_task_id += 1
                 position_of_task[task_id] = position
-                tasks.append((task_id, payloads[position], algorithm, tuple(options.items())))
+                tasks.append(
+                    (task_id, payloads[position], algorithm, tuple(options.items()), trace)
+                )
             batch = _PendingBatch(position_of_task)
             for task_id in position_of_task:
                 self._pending[task_id] = batch
@@ -289,6 +320,7 @@ class OptimizerPool:
                 raise ParallelError("the optimizer pool's collector thread died")
         if batch.failure is not None:
             raise ParallelError(batch.failure)
+        emit_spans(batch.spans)
         if batch.errors:
             position, message = min(batch.errors.items())
             problem = problems[position]
@@ -315,7 +347,9 @@ class OptimizerPool:
         """Route worker answers to the batches that submitted them."""
         while True:
             try:
-                task_id, ok, payload, warm = self._results.get(timeout=_RESULT_POLL_SECONDS)
+                task_id, ok, payload, warm, spans = self._results.get(
+                    timeout=_RESULT_POLL_SECONDS
+                )
             except queue.Empty:
                 if self._collector_stop.is_set():
                     return
@@ -330,6 +364,8 @@ class OptimizerPool:
                     # pool close) — must not be attributed to a live batch.
                     continue
                 position = batch.position_of_task[task_id]
+                if spans:
+                    batch.spans.extend(spans)
                 if ok:
                     batch.wires[position] = payload
                     if warm:

@@ -29,12 +29,14 @@ accounting — so callers switch backends through
 from __future__ import annotations
 
 import queue
+import time
 from typing import TYPE_CHECKING
 
 from repro.core.optimizer import optimize
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult
 from repro.exceptions import OptimizationError, ReproError
+from repro.obs.trace import Span, current_trace, emit_spans
 from repro.parallel.codec import result_from_wire, result_to_wire
 from repro.parallel.pool import preferred_context
 from repro.serialization import problem_from_wire, problem_to_wire
@@ -52,17 +54,46 @@ _LIVENESS_POLL_SECONDS = 0.25
 """How often the parent wakes while waiting on results to notice dead members."""
 
 
-def _race_member_main(payload, name, options, results) -> None:
-    """Child entry point: run one portfolio member and report over the queue."""
+def _race_member_main(payload, name, options, results, trace=None) -> None:
+    """Child entry point: run one portfolio member and report over the queue.
+
+    ``trace`` is the caller's ``(trace_id, parent_span_id)`` when the race is
+    part of a traced request; the member then times itself with one
+    ``worker.optimize`` span shipped back alongside the result, so the span
+    joins the request's tree in the parent process.
+    """
+    span = None
+    if trace is not None:
+        span = Span(trace[0], "worker.optimize", parent_id=trace[1])
+        span.annotate(backend="race", algorithm=name)
+        started = time.perf_counter()
     try:
         problem = problem_from_wire(payload)
         result = optimize(problem, algorithm=name, **dict(options))
     except ReproError as error:
-        results.put((name, False, str(error)))
+        results.put((name, False, str(error), _finish(span, started if span else 0.0, ok=False)))
     except TypeError as error:
-        results.put((name, False, f"{name} rejected the options: {error}"))
+        results.put(
+            (
+                name,
+                False,
+                f"{name} rejected the options: {error}",
+                _finish(span, started if span else 0.0, ok=False),
+            )
+        )
     else:
-        results.put((name, True, result_to_wire(result)))
+        results.put(
+            (name, True, result_to_wire(result), _finish(span, started if span else 0.0, ok=True))
+        )
+
+
+def _finish(span, started: float, ok: bool) -> list:
+    """Close the member's span (if traced) into its wire form."""
+    if span is None:
+        return []
+    span.duration = time.perf_counter() - started
+    span.annotate(ok=ok)
+    return [span.to_dict()]
 
 
 def race_processes(
@@ -98,12 +129,13 @@ def race_processes(
         errors[seed_name] = f"{seed_name} rejected the options: {error}"
 
     racing = options.algorithms[1:]
+    trace = current_trace()
     members = {}
     for name in racing:
         member_options = tuple(dict(options.algorithm_options.get(name, {})).items())
         process = context.Process(
             target=_race_member_main,
-            args=(payload, name, member_options, result_queue),
+            args=(payload, name, member_options, result_queue, trace),
             daemon=True,
             name=f"race-{name}",
         )
@@ -120,7 +152,7 @@ def race_processes(
                 break
             timeout = min(timeout, _LIVENESS_POLL_SECONDS)
         try:
-            name, ok, payload_or_error = result_queue.get(timeout=timeout)
+            name, ok, payload_or_error, member_spans = result_queue.get(timeout=timeout)
         except queue.Empty:
             # A member that died without reporting (OOM kill, hard crash)
             # must not be waited on — especially with no budget, where the
@@ -131,8 +163,9 @@ def race_processes(
             if dead:
                 try:
                     while True:
-                        name, ok, payload_or_error = result_queue.get_nowait()
+                        name, ok, payload_or_error, member_spans = result_queue.get_nowait()
                         outstanding.discard(name)
+                        emit_spans(member_spans)
                         if ok:
                             results[name] = result_from_wire(payload_or_error, problem)
                         else:
@@ -149,6 +182,7 @@ def race_processes(
                 break
             continue
         outstanding.discard(name)
+        emit_spans(member_spans)
         if ok:
             results[name] = result_from_wire(payload_or_error, problem)
         else:

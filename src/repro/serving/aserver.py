@@ -265,7 +265,9 @@ class AsyncPlanServer:
                         return  # half-sent body then silence: drop the socket
                 self._busy.add(task)
                 try:
-                    status, payload = await self._answer(method, path, body)
+                    status, payload = await self._answer(
+                        method, path, body, headers.get("x-trace-id")
+                    )
                     keep_alive = (
                         status < 400
                         and version == "HTTP/1.1"
@@ -290,17 +292,17 @@ class AsyncPlanServer:
                 pass
 
     async def _answer(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict[str, Any]]:
+        self, method: str, path: str, body: bytes, trace_id: str | None = None
+    ) -> tuple[int, "dict[str, Any] | str"]:
         """Bridge one framed request to the blocking service surface."""
         loop = asyncio.get_running_loop()
         if method != "POST":
             if path == "/healthz":
                 # Liveness is answered inline: no bridge, no saturation.
                 return 200, {"status": "ok"}
-            # /stats and 404s ride the auxiliary lane, insulated from a
-            # saturated plan bridge (the threaded server likewise answers
-            # them on their own handler thread).
+            # /stats, /metrics, /trace and 404s ride the auxiliary lane,
+            # insulated from a saturated plan bridge (the threaded server
+            # likewise answers them on their own handler thread).
             return await loop.run_in_executor(
                 self._aux_executor, dispatch_request, self.plan_service, method, path, body
             )
@@ -314,19 +316,37 @@ class AsyncPlanServer:
             }
         self._bridged += 1  # single-threaded mutation: we run on the loop
         try:
+            # The trace rides the bridge as a positional argument: the
+            # executor thread has no ambient trace context of its own.
             return await loop.run_in_executor(
-                self._executor, dispatch_request, self.plan_service, method, path, body
+                self._executor,
+                dispatch_request,
+                self.plan_service,
+                method,
+                path,
+                body,
+                trace_id,
             )
         finally:
             self._bridged -= 1
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict[str, Any], close: bool
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: "dict[str, Any] | str",
+        close: bool,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # The Prometheus exposition of GET /metrics: already-rendered text.
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {HTTPStatus(status).phrase}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             f"\r\n"

@@ -40,6 +40,7 @@ from typing import Callable
 from repro.core.problem import OrderingProblem
 from repro.estimation.adaptive import compute_drift
 from repro.exceptions import EstimationError, ServingError
+from repro.obs.trace import trace_span
 from repro.serving.fingerprint import ProblemFingerprint
 from repro.serving.store import CacheStore, LocalStore
 
@@ -262,6 +263,15 @@ class PlanCache:
         which case the entry is returned with ``stale=True`` (and stays cached
         until :meth:`put` replaces it or LRU displaces it).
         """
+        with trace_span("cache.get") as span:
+            lookup = self._lookup(fingerprint)
+            if lookup.entry is None:
+                span.annotate(outcome="miss")
+            else:
+                span.annotate(outcome="stale" if lookup.stale else "hit")
+        return lookup
+
+    def _lookup(self, fingerprint: ProblemFingerprint) -> CacheLookup:
         assert self.store is not None
         entry = self.store.get(fingerprint.key)
         if entry is None:

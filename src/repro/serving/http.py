@@ -49,6 +49,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Union
 
 from repro.exceptions import AdmissionError, InvalidProblemError, ReproError, ServingError
+from repro.obs import Observability, activate_trace, trace_span
 from repro.serialization import problem_from_dict
 from repro.serving.service import PlanResponse, PlanService
 
@@ -168,9 +169,27 @@ def _parse_document(body: bytes) -> dict[str, Any]:
     return document
 
 
+_ROUTE_LABELS = ("/plan", "/plan/batch", "/stats", "/healthz", "/metrics", "/slowlog")
+"""Known routes, used verbatim as the ``route`` metric label; ``/trace/<id>``
+collapses onto ``/trace`` and everything else onto ``other`` so the label's
+cardinality stays bounded no matter what clients probe."""
+
+
+def _route_label(path: str) -> str:
+    if path in _ROUTE_LABELS:
+        return path
+    if path.startswith("/trace/"):
+        return "/trace"
+    return "other"
+
+
 def dispatch_request(
-    plan_service: "PlanBackend", method: str, path: str, body: bytes = b""
-) -> tuple[int, dict[str, Any]]:
+    plan_service: "PlanBackend",
+    method: str,
+    path: str,
+    body: bytes = b"",
+    trace_id: str | None = None,
+) -> tuple[int, Union[dict[str, Any], str]]:
     """Route one framed request against the service surface (blocking).
 
     This is the single request core both front ends call — the threaded
@@ -178,20 +197,87 @@ def dispatch_request(
     status mapping stays identical by construction: 200 answers, 400
     malformed, 404 unknown path, 503 admission, 500 optimizer/internal.
     Framing concerns (reading the body, 413, timeouts) stay with the caller.
+
+    ``trace_id`` is the caller-supplied ``X-Trace-Id``: a POST carrying one
+    is traced even when tracing is off by default, and the id it ran under
+    is echoed in the response payload for ``GET /trace/<id>``.  A ``str``
+    payload (``GET /metrics``) is served as plain text, not JSON.
     """
+    observability = getattr(plan_service, "obs", None)
+    started = time.perf_counter()
+    status, payload = _dispatch(plan_service, observability, method, path, body, trace_id)
+    if observability is not None:
+        obs_method = method if method in ("GET", "POST") else "other"
+        observability.observe_http(
+            _route_label(path), obs_method, status, time.perf_counter() - started
+        )
+    return status, payload
+
+
+def _dispatch(
+    plan_service: "PlanBackend",
+    observability: "Observability | None",
+    method: str,
+    path: str,
+    body: bytes,
+    trace_id: str | None,
+) -> tuple[int, Union[dict[str, Any], str]]:
     if method == "GET":
-        if path == "/stats":
-            try:
-                return 200, plan_service.stats()
-            except ReproError as error:
-                return 500, {"error": str(error)}
-            except Exception as error:  # noqa: BLE001 - a handler must answer
-                return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
-        if path == "/healthz":
-            return 200, {"status": "ok"}
-        return 404, {"error": f"unknown path {path!r}"}
+        return _dispatch_get(plan_service, observability, path)
     if method != "POST":
         return 501, {"error": f"unsupported method {method!r}"}
+    traced = observability is not None and (observability.enabled or trace_id is not None)
+    if not traced:
+        return _dispatch_post(plan_service, path, body)
+    with activate_trace(trace_id) as active:
+        with trace_span("http.request", method=method, route=_route_label(path)) as root:
+            status, payload = _dispatch_post(plan_service, path, body)
+            root.annotate(status=status)
+    observability.record_trace(active)
+    if isinstance(payload, dict):
+        payload = {**payload, "trace_id": active.trace_id}
+    return status, payload
+
+
+def _dispatch_get(
+    plan_service: "PlanBackend",
+    observability: "Observability | None",
+    path: str,
+) -> tuple[int, Union[dict[str, Any], str]]:
+    if path == "/stats":
+        try:
+            return 200, plan_service.stats()
+        except ReproError as error:
+            return 500, {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 - a handler must answer
+            return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+    if path == "/healthz":
+        return 200, {"status": "ok"}
+    if path == "/metrics":
+        if observability is None:
+            return 404, {"error": "this backend exposes no metrics registry"}
+        return 200, observability.registry.render()
+    if path.startswith("/trace/"):
+        if observability is None:
+            return 404, {"error": "this backend stores no traces"}
+        trace_id = path[len("/trace/") :]
+        tree = observability.spans.tree(trace_id)
+        if tree is None:
+            return 404, {"error": f"unknown trace {trace_id!r}"}
+        return 200, tree
+    if path == "/slowlog":
+        if observability is None:
+            return 404, {"error": "this backend keeps no slow-request log"}
+        return 200, {
+            "threshold_seconds": observability.slow_log.threshold_seconds,
+            "entries": observability.slow_log.entries(),
+        }
+    return 404, {"error": f"unknown path {path!r}"}
+
+
+def _dispatch_post(
+    plan_service: "PlanBackend", path: str, body: bytes
+) -> tuple[int, dict[str, Any]]:
     try:
         document = _parse_document(body)
     except ValueError as error:
@@ -278,7 +364,11 @@ class _PlanRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(400, {"error": str(error)})
                 return
             status, payload = dispatch_request(
-                self.server.plan_service, "POST", self.path, body
+                self.server.plan_service,
+                "POST",
+                self.path,
+                body,
+                trace_id=self.headers.get("X-Trace-Id"),
             )
             self._send_json(status, payload)
 
@@ -295,10 +385,16 @@ class _PlanRequestHandler(BaseHTTPRequestHandler):
             )
         return body
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_json(self, status: int, payload: Union[dict[str, Any], str]) -> None:
+        if isinstance(payload, str):
+            # GET /metrics serves the Prometheus text exposition format.
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if status >= 400 or self.server._closing:
             # Error paths may leave request bytes unread (e.g. an oversized

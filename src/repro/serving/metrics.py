@@ -7,6 +7,17 @@ cost, and whether it carries an optimality guarantee).  Latencies are kept in
 a bounded reservoir so a long-running service's memory stays flat while the
 quantiles remain meaningful.
 
+Counters live in a :class:`repro.obs.MetricsRegistry` — the same registry the
+``GET /metrics`` endpoint renders — so the Prometheus view and the JSON
+:meth:`ServingMetrics.snapshot` view are two projections of one set of
+numbers that cannot drift apart.  Rejections carry a ``reason`` label
+(``capacity``, ``queue``, …) instead of one lumped count.  The latency
+reservoirs stay local to this class: fixed-bucket histograms cannot answer
+nearest-rank quantile queries, so each source keeps a bounded sample
+population, downsampled by seeded reservoir sampling (Vitter's Algorithm R)
+— deterministic under a configured ``seed``, which keeps metric-dependent
+tests reproducible.
+
 Snapshots are cheap: each reservoir maintains a cached sorted copy that is
 (re)built at most once per snapshot cycle — repeated :meth:`ServingMetrics.snapshot`
 calls between observations reuse it instead of re-sorting thousands of
@@ -15,17 +26,19 @@ samples on a hot stats endpoint.  Quantiles use the *nearest-rank* rule
 uniformly to every quantile, so p95/p99 of small populations land on the
 sample the rank definition names instead of drifting with truncation.
 
-Everything is guarded by one lock; observations are a few appends, so the
-lock is never held across optimization work.
+Reservoir state is guarded by one lock; registry counters carry their own.
+No lock is ever held across optimization work.
 """
 
 from __future__ import annotations
 
 import math
+import random
 import threading
 from dataclasses import dataclass
 
 from repro.exceptions import ServingError
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
 __all__ = ["LatencySummary", "ServingMetrics"]
 
@@ -85,21 +98,61 @@ class ServingMetrics:
     SOURCES = ("hit", "stale", "cold")
     """Where an answer can come from: fresh cache hit, stale hit, optimization."""
 
-    def __init__(self, reservoir_size: int = 4096) -> None:
+    DEFAULT_REJECTION_REASON = "capacity"
+    """The reason recorded when admission control gives none."""
+
+    def __init__(
+        self,
+        reservoir_size: int = 4096,
+        registry: MetricsRegistry | None = None,
+        seed: int = 0,
+    ) -> None:
         if reservoir_size < 1:
             raise ServingError(f"reservoir_size must be at least 1, got {reservoir_size!r}")
         self._lock = threading.Lock()
         self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
         self._latencies: dict[str, list[float]] = {source: [] for source in self.SOURCES}
         # Cached sorted copy per reservoir; None marks it dirty.  Sorting
         # happens at most once per snapshot cycle, not once per snapshot call.
         self._sorted: dict[str, list[float] | None] = {source: None for source in self.SOURCES}
-        self._observation_counts: dict[str, int] = {source: 0 for source in self.SOURCES}
-        self._rejected = 0
-        self._failed = 0
-        self._coalesced = 0
-        self._optimal_answers = 0
         self._cost_total = 0.0
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._answered = self.registry.counter(
+            "repro_requests_answered_total",
+            "Requests answered, by answer source (hit/stale/cold).",
+            labelnames=("source",),
+        )
+        self._rejections = self.registry.counter(
+            "repro_requests_rejected_total",
+            "Requests turned away by admission control, by reason.",
+            labelnames=("reason",),
+        )
+        self._failures = self.registry.counter(
+            "repro_requests_failed_total", "Requests that raised during optimization."
+        )
+        self._coalesced_total = self.registry.counter(
+            "repro_requests_coalesced_total",
+            "Requests answered by riding along on another request's optimization.",
+        )
+        self._optimal_total = self.registry.counter(
+            "repro_answers_optimal_total", "Answers carrying an optimality guarantee."
+        )
+        self._latency_hist = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency, by answer source.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            labelnames=("source",),
+        )
+        # Pre-touch every known series so /metrics shows explicit zeros
+        # before the first request of a kind arrives.
+        for source in self.SOURCES:
+            self._answered.inc(0, source=source)
+        self._rejections.inc(0, reason=self.DEFAULT_REJECTION_REASON)
+        self._failures.inc(0)
+        self._coalesced_total.inc(0)
+        self._optimal_total.inc(0)
 
     # -- recording ---------------------------------------------------------
 
@@ -107,61 +160,65 @@ class ServingMetrics:
         """Record one answered request."""
         if source not in self.SOURCES:
             raise ServingError(f"unknown answer source {source!r}; expected one of {self.SOURCES}")
+        self._answered.inc(source=source)
+        self._latency_hist.observe(latency_seconds, source=source)
+        if optimal:
+            self._optimal_total.inc()
         with self._lock:
-            self._observation_counts[source] += 1
             reservoir = self._latencies[source]
-            if len(reservoir) >= self._reservoir_size:
-                # Overwrite round-robin so the reservoir tracks recent traffic.
-                reservoir[self._observation_counts[source] % self._reservoir_size] = (
-                    latency_seconds
-                )
-            else:
+            if len(reservoir) < self._reservoir_size:
                 reservoir.append(latency_seconds)
-            self._sorted[source] = None
+                self._sorted[source] = None
+            else:
+                # Algorithm R: after n observations, each of them is in the
+                # reservoir with probability size/n.  Seeded, hence
+                # deterministic for a given observation sequence.
+                seen = int(self._answered.value(source=source))
+                slot = self._rng.randrange(seen)
+                if slot < self._reservoir_size:
+                    reservoir[slot] = latency_seconds
+                    self._sorted[source] = None
             self._cost_total += cost
-            if optimal:
-                self._optimal_answers += 1
 
-    def record_rejection(self) -> None:
+    def record_rejection(self, reason: str = DEFAULT_REJECTION_REASON) -> None:
         """Record a request turned away by admission control."""
-        with self._lock:
-            self._rejected += 1
+        self._rejections.inc(reason=reason)
 
     def record_failure(self) -> None:
         """Record a request that raised during optimization."""
-        with self._lock:
-            self._failed += 1
+        self._failures.inc()
 
     def record_coalesced(self) -> None:
         """Record a request answered by riding along on another's optimization."""
-        with self._lock:
-            self._coalesced += 1
+        self._coalesced_total.inc()
 
     # -- reporting ---------------------------------------------------------
 
     @property
     def answered(self) -> int:
         """Total requests answered (any source)."""
-        with self._lock:
-            return sum(self._observation_counts.values())
+        return int(sum(self._answered.values().values()))
 
     @property
     def rejected(self) -> int:
-        """Total requests rejected by admission control."""
-        with self._lock:
-            return self._rejected
+        """Total requests rejected by admission control (all reasons)."""
+        return int(sum(self._rejections.values().values()))
 
     @property
     def failed(self) -> int:
         """Total requests that failed during optimization."""
-        with self._lock:
-            return self._failed
+        return int(self._failures.value())
 
     @property
     def coalesced(self) -> int:
         """Total requests deduplicated by single-flight/batch coalescing."""
-        with self._lock:
-            return self._coalesced
+        return int(self._coalesced_total.value())
+
+    def rejected_by_reason(self) -> dict[str, int]:
+        """Rejection counts keyed by admission-control reason."""
+        return {
+            key[0]: int(value) for key, value in sorted(self._rejections.values().items())
+        }
 
     def latency(self, source: str) -> LatencySummary:
         """Latency summary of one answer source ('hit', 'stale' or 'cold')."""
@@ -172,15 +229,19 @@ class ServingMetrics:
 
     def snapshot(self) -> dict[str, object]:
         """One JSON-ready dictionary with every counter and latency summary."""
+        by_source = {
+            source: int(self._answered.value(source=source)) for source in self.SOURCES
+        }
+        answered = sum(by_source.values())
         with self._lock:
-            answered = sum(self._observation_counts.values())
             return {
                 "answered": answered,
-                "rejected": self._rejected,
-                "failed": self._failed,
-                "coalesced": self._coalesced,
-                "by_source": dict(self._observation_counts),
-                "optimal_answers": self._optimal_answers,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "coalesced": self.coalesced,
+                "by_source": by_source,
+                "rejected_by_reason": self.rejected_by_reason(),
+                "optimal_answers": int(self._optimal_total.value()),
                 "mean_plan_cost": self._cost_total / answered if answered else 0.0,
                 "latency": {
                     source: LatencySummary.from_sorted(self._sorted_reservoir(source)).as_dict()

@@ -49,6 +49,7 @@ from repro.core.optimizer import ALGORITHMS, optimize
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult
 from repro.exceptions import OptimizationError, ReproError, ServingError
+from repro.obs.trace import ActiveTrace, capture, trace_span
 from repro.utils.timing import Stopwatch
 
 __all__ = [
@@ -206,7 +207,19 @@ class PortfolioOptimizer:
         budget = options.budget_seconds if budget_seconds is None else budget_seconds
         if budget is not None and budget < 0:
             raise ServingError(f"budget_seconds must be non-negative, got {budget!r}")
+        with trace_span("portfolio.race", backend=options.backend) as race_span:
+            result = self._race(problem, options, budget)
+            race_span.annotate(
+                completed=len(result.results), timed_out=len(result.timed_out)
+            )
+        return result
 
+    def _race(
+        self,
+        problem: OrderingProblem,
+        options: PortfolioOptions,
+        budget: float | None,
+    ) -> PortfolioResult:
         if options.backend == "processes":
             from repro.parallel.race import race_processes
 
@@ -222,13 +235,19 @@ class PortfolioOptimizer:
         results: dict[str, OptimizationResult] = {}
         errors: dict[str, str] = {}
         try:
-            results[seed_name] = self._run_member(problem, seed_name)
+            with trace_span("portfolio.member", algorithm=seed_name, seed=True):
+                results[seed_name] = self._run_member(problem, seed_name)
         except ReproError as error:
             errors[seed_name] = str(error)
 
         racing = options.algorithms[1:]
+        # Racing members run on executor threads, where the ambient trace
+        # contextvar does not flow; hand the captured activation over
+        # explicitly so their spans join this request's tree.
+        context = capture()
         futures = {
-            self._executor.submit(self._run_member, problem, name): name for name in racing
+            self._executor.submit(self._traced_member, problem, name, context): name
+            for name in racing
         }
         remaining = None if budget is None else max(budget - stopwatch.elapsed, 0.0)
         done, pending = concurrent.futures.wait(futures, timeout=remaining)
@@ -256,6 +275,12 @@ class PortfolioOptimizer:
             timed_out=tuple(sorted(timed_out)),
             elapsed_seconds=stopwatch.stop(),
         )
+
+    def _traced_member(
+        self, problem: OrderingProblem, name: str, context: ActiveTrace | None
+    ) -> OptimizationResult:
+        with trace_span("portfolio.member", context=context, algorithm=name):
+            return self._run_member(problem, name)
 
     def _run_member(self, problem: OrderingProblem, name: str) -> OptimizationResult:
         member_options = dict(self.options.algorithm_options.get(name, {}))

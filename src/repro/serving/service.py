@@ -39,6 +39,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.core.evaluation import enable_kernel_profiling, kernel_profile
 from repro.core.problem import OrderingProblem
 from repro.exceptions import (
     AdmissionError,
@@ -54,6 +55,7 @@ from repro.serving.fingerprint import (
     ProblemFingerprint,
     fingerprint_problem,
 )
+from repro.obs import Observability, ObservabilityConfig, trace_span
 from repro.serving.metrics import ServingMetrics
 from repro.serving.portfolio import DEFAULT_PORTFOLIO, PortfolioOptimizer, PortfolioOptions
 from repro.utils.timing import Stopwatch
@@ -131,6 +133,19 @@ class PlanServiceConfig:
     of worker *processes*, so drift/staleness refresh never competes with
     request-path optimization for the GIL."""
 
+    observability: bool = False
+    """Turn on request tracing and kernel profiling (see :mod:`repro.obs`).
+    Metrics counters are always maintained; this flag gates the parts with
+    per-request cost — span collection and evaluation-kernel counting."""
+
+    slow_request_seconds: float | None = None
+    """Requests slower than this land in the slow-request log (requires
+    :attr:`observability`; ``None`` disables the log)."""
+
+    metrics_seed: int = 0
+    """Seed of the latency reservoirs' downsampling RNG, so metric-dependent
+    tests see deterministic quantiles."""
+
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
             raise ServingError(f"max_in_flight must be at least 1, got {self.max_in_flight!r}")
@@ -148,6 +163,11 @@ class PlanServiceConfig:
             raise ServingError(
                 f"unknown revalidation backend {self.revalidation_backend!r}; "
                 f"available: threads, pool"
+            )
+        if self.slow_request_seconds is not None and self.slow_request_seconds < 0:
+            raise ServingError(
+                f"slow_request_seconds must be non-negative, "
+                f"got {self.slow_request_seconds!r}"
             )
 
 
@@ -214,7 +234,31 @@ class PlanService:
             stale_while_revalidate=self.config.stale_while_revalidate,
             store=cache_store,
         )
-        self.metrics = ServingMetrics()
+        self.obs = Observability(
+            ObservabilityConfig(
+                enabled=self.config.observability,
+                slow_request_seconds=self.config.slow_request_seconds,
+            )
+        )
+        self.metrics = ServingMetrics(
+            registry=self.obs.registry, seed=self.config.metrics_seed
+        )
+        self._pending_gauge = self.obs.registry.gauge(
+            "repro_requests_pending", "Requests admitted and not yet answered."
+        )
+        self._cache_gauge = self.obs.registry.gauge(
+            "repro_cache_entries", "Plans currently held in the fingerprint cache."
+        )
+        self._kernel_counter = self.obs.registry.counter(
+            "repro_kernel_evaluations_total",
+            "Plan-evaluation kernel calls in this process, by kind "
+            "(full/bounded/delta); present when kernel profiling is on.",
+            labelnames=("kind",),
+        )
+        self._kernel_seen: dict[str, int] = {}
+        self.obs.registry.register_callback(self._refresh_gauges)
+        if self.config.observability:
+            enable_kernel_profiling()
         self._portfolio = PortfolioOptimizer(
             PortfolioOptions(
                 algorithms=self.config.algorithms,
@@ -277,11 +321,16 @@ class PlanService:
             raise ServingError("the plan service has been closed")
         self._admit()
         try:
-            self._slots.acquire()
-            try:
-                return self._answer(problem, budget_seconds, fingerprint)
-            finally:
-                self._slots.release()
+            with trace_span("service.submit"):
+                # The queue span exists only when the request actually waited:
+                # the unqueued fast path stays span-free and hot.
+                if not self._slots.acquire(blocking=False):
+                    with trace_span("service.queue"):
+                        self._slots.acquire()
+                try:
+                    return self._answer(problem, budget_seconds, fingerprint)
+                finally:
+                    self._slots.release()
         finally:
             with self._pending_lock:
                 self._pending -= 1
@@ -322,11 +371,14 @@ class PlanService:
             )
         self._admit()
         try:
-            self._slots.acquire()
-            try:
-                return self._answer_batch(problems, budget_seconds, fingerprints)
-            finally:
-                self._slots.release()
+            with trace_span("service.batch", size=len(problems)):
+                if not self._slots.acquire(blocking=False):
+                    with trace_span("service.queue"):
+                        self._slots.acquire()
+                try:
+                    return self._answer_batch(problems, budget_seconds, fingerprints)
+                finally:
+                    self._slots.release()
         finally:
             with self._pending_lock:
                 self._pending -= 1
@@ -344,7 +396,12 @@ class PlanService:
         with self._pending_lock:
             pending = self._pending
         assert self.cache.store is not None
+        profile = kernel_profile()
+        kernel = {"profiling": profile is not None}
+        if profile is not None:
+            kernel.update(profile.snapshot())
         return {
+            "kernel": kernel,
             "cache": {
                 "size": len(self.cache),
                 **self.cache.stats().as_dict(),
@@ -367,11 +424,31 @@ class PlanService:
 
     # -- internals ---------------------------------------------------------
 
+    def _refresh_gauges(self) -> None:
+        """Registry render callback: sync gauges and kernel counters.
+
+        The kernel profile is process-global; the registry counter advances
+        by the delta since this registry last looked, so scraping /metrics
+        twice never double-counts.
+        """
+        with self._pending_lock:
+            pending = self._pending
+        self._pending_gauge.set(pending)
+        self._cache_gauge.set(len(self.cache))
+        profile = kernel_profile()
+        if profile is not None:
+            for kind, value in profile.counts().items():
+                previous = self._kernel_seen.get(kind, 0)
+                if value > previous:
+                    self._kernel_counter.inc(value - previous, kind=kind)
+                    self._kernel_seen[kind] = value
+
     def _admit(self) -> None:
         limit = self.config.max_in_flight + self.config.queue_depth
         with self._pending_lock:
             if self._pending >= limit:
-                self.metrics.record_rejection()
+                reason = "queue_overflow" if self.config.queue_depth else "capacity"
+                self.metrics.record_rejection(reason)
                 raise AdmissionError(
                     f"plan service over capacity: {self._pending} requests pending "
                     f"(limit {limit} = {self.config.max_in_flight} in flight "
@@ -478,9 +555,11 @@ class PlanService:
             result = self._optimize_and_cache(problem, budget_seconds, fingerprint)
             return (fingerprint.to_positions(result.order), result.algorithm, result.optimal)
 
-        if not self.config.cache_enabled:
-            return (*compute(), True)
-        value, leader = self._single_flight.do(fingerprint.key, compute)
+        with trace_span("optimize.cold") as span:
+            if not self.config.cache_enabled:
+                return (*compute(), True)
+            value, leader = self._single_flight.do(fingerprint.key, compute)
+            span.annotate(coalesced=not leader)
         positions, algorithm, optimal = value  # type: ignore[misc]
         return (positions, algorithm, optimal, leader)
 

@@ -77,6 +77,9 @@ class ResponseMultiplexer:
         self._ports: set[_Port] = set()
         self._thread: threading.Thread | None = None
         self._stopped = threading.Event()
+        # Dispatch accounting (only the loop thread writes, so plain ints).
+        self._dispatched = 0
+        self._dropped = 0
         # A self-pipe: registration changes wake the selector immediately
         # instead of waiting out the current poll timeout.
         self._wake_recv, self._wake_send = multiprocessing.Pipe(duplex=False)
@@ -119,6 +122,20 @@ class ResponseMultiplexer:
         """Number of registered shard channels (introspection/tests)."""
         with self._lock:
             return len(self._ports)
+
+    def stats(self) -> dict[str, int]:
+        """Dispatch counters: answers routed to callbacks, and drops.
+
+        A *drop* is a message consumed off a port's queue whose callback
+        raised or whose payload failed to decode — its waiter is failed by
+        the owner's death sweep or close, never hung.
+        """
+        with self._lock:
+            return {
+                "ports": len(self._ports),
+                "dispatched": self._dispatched,
+                "dropped": self._dropped,
+            }
 
     @property
     def thread_name(self) -> str | None:
@@ -196,11 +213,13 @@ class ResponseMultiplexer:
             except Exception:  # noqa: BLE001 - e.g. an unpicklable payload
                 # The message bytes were consumed; skip it and keep draining.
                 # Its waiter is failed by the owner's death sweep or close.
+                self._dropped += 1
                 continue
             try:
                 port.on_message(item)
+                self._dispatched += 1
             except Exception:  # pragma: no cover - callbacks must not kill the loop
-                pass
+                self._dropped += 1
 
     def _sweep_dead(self, ports: list[_Port]) -> None:
         """Fail waiters of shards whose process died with nothing left to read."""

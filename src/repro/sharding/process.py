@@ -39,6 +39,7 @@ from repro.exceptions import (
     ServingError,
     ShardingError,
 )
+from repro.obs.trace import Span, activate_trace, current_trace, emit_spans, trace_span
 from repro.parallel.pool import preferred_context
 from repro.serialization import problem_from_wire, problem_to_wire
 from repro.serving.http import response_from_dict, response_to_dict
@@ -62,51 +63,76 @@ _ERROR_TYPES = {
 """Shard-side error types re-raised with their own class in the parent."""
 
 
-def _shard_service_main(requests, responses, config: PlanServiceConfig) -> None:
+def _shard_service_main(requests, responses, config: PlanServiceConfig, shard_id: str) -> None:
     """Child entry point: serve requests until the shutdown sentinel."""
+    import multiprocessing
     import signal
 
     # A foreground Ctrl-C delivers SIGINT to the whole process group; shard
     # shutdown is coordinated by the parent (sentinel, then terminate), so
     # the child must not die mid-request with a KeyboardInterrupt traceback.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # The parent starts shards daemonic (an abandoned shard must never block
+    # interpreter exit), but the inherited daemon flag would forbid this
+    # service's own worker children — process-backend portfolio races and
+    # refresh pools.  Clear it here, where it has no other effect: the
+    # parent's exit handling keys off its own Process object, and the
+    # grandchildren are daemonic themselves.
+    multiprocessing.current_process()._config["daemon"] = False
     service = PlanService(config)
     executor = ThreadPoolExecutor(
         max_workers=config.max_in_flight + 2, thread_name_prefix="shard-request"
     )
 
+    def answer_one(kind: str, item: tuple):
+        if kind == "submit":
+            payload, budget = item[2], item[3]
+            response = service.submit(problem_from_wire(payload), budget_seconds=budget)
+            return response_to_dict(response)
+        if kind == "batch":
+            payloads, budget = item[2], item[3]
+            problems = [problem_from_wire(payload) for payload in payloads]
+            return [
+                response_to_dict(response)
+                for response in service.optimize_batch(problems, budget_seconds=budget)
+            ]
+        if kind == "stats":
+            return service.stats()
+        if kind == "keys":
+            return service.cache.keys()
+        raise ShardingError(f"unknown shard operation {kind!r}")
+
     def handle(item) -> None:
-        kind, request_id = item[0], item[1]
+        kind, request_id, trace = item[0], item[1], item[-1]
+        spans: list = []
         try:
-            if kind == "submit":
-                _, _, payload, budget = item
-                response = service.submit(problem_from_wire(payload), budget_seconds=budget)
-                answer = response_to_dict(response)
-            elif kind == "batch":
-                _, _, payloads, budget = item
-                problems = [problem_from_wire(payload) for payload in payloads]
-                answer = [
-                    response_to_dict(response)
-                    for response in service.optimize_batch(problems, budget_seconds=budget)
-                ]
-            elif kind == "stats":
-                answer = service.stats()
-            elif kind == "keys":
-                answer = service.cache.keys()
+            if trace is None:
+                answer = answer_one(kind, item)
             else:
-                raise ShardingError(f"unknown shard operation {kind!r}")
+                # Re-enter the caller's trace: everything the service does in
+                # this process lands under one shard.<kind> span, and the
+                # finished spans ship back with the answer for stitching.
+                with activate_trace(trace[0], parent_id=trace[1]) as active:
+                    try:
+                        with trace_span("shard." + kind, shard=shard_id):
+                            answer = answer_one(kind, item)
+                    finally:
+                        spans = [
+                            span.to_dict() if isinstance(span, Span) else dict(span)
+                            for span in active.spans
+                        ]
         except ReproError as error:
-            responses.put((request_id, False, (type(error).__name__, str(error))))
+            responses.put((request_id, False, (type(error).__name__, str(error)), spans))
         except Exception as error:  # noqa: BLE001 - a lost answer hangs the parent
             # Anything escaping here (e.g. a TypeError from rejected
             # algorithm options) must still produce a response: the parent's
             # waiter has no timeout and the process stays alive, so a
             # swallowed exception would hang the router thread forever.
             responses.put(
-                (request_id, False, ("ShardingError", f"{type(error).__name__}: {error}"))
+                (request_id, False, ("ShardingError", f"{type(error).__name__}: {error}"), spans)
             )
         else:
-            responses.put((request_id, True, answer))
+            responses.put((request_id, True, answer, spans))
 
     while True:
         item = requests.get()
@@ -120,12 +146,13 @@ def _shard_service_main(requests, responses, config: PlanServiceConfig) -> None:
 class _Waiter:
     """One parent-side caller blocked on a shard answer."""
 
-    __slots__ = ("done", "ok", "payload")
+    __slots__ = ("done", "ok", "payload", "spans")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.ok = False
         self.payload: object = None
+        self.spans: list = []
 
 
 class ProcessShard:
@@ -149,7 +176,7 @@ class ProcessShard:
         self._responses = context.Queue()
         self._process = context.Process(
             target=_shard_service_main,
-            args=(self._requests, self._responses, config),
+            args=(self._requests, self._responses, config, shard_id),
             daemon=True,
             name=f"plan-shard-{shard_id}",
         )
@@ -229,8 +256,12 @@ class ProcessShard:
             self._next_request_id += 1
             self._waiters[request_id] = waiter
         kind, *rest = operation
-        self._requests.put((kind, request_id, *rest))
+        # The trace rides as the operation's last element; the child re-enters
+        # it and ships its spans back on the waiter.
+        self._requests.put((kind, request_id, *rest, current_trace()))
         waiter.done.wait()
+        if waiter.spans:
+            emit_spans(waiter.spans)
         if waiter.ok:
             return waiter.payload
         error_type, message = waiter.payload  # type: ignore[misc]
@@ -240,13 +271,15 @@ class ProcessShard:
 
     def _dispatch(self, item: tuple) -> None:
         """Multiplexer callback: route one shard answer to its waiter."""
-        request_id, ok, payload = item
+        request_id, ok, payload, *extra = item
         with self._lock:
             waiter = self._waiters.pop(request_id, None)
         if waiter is None:
             return
         waiter.ok = ok
         waiter.payload = payload
+        if extra:
+            waiter.spans = extra[0]
         waiter.done.set()
 
     def _on_death(self) -> None:

@@ -33,6 +33,7 @@ from typing import Sequence
 
 from repro.core.problem import OrderingProblem
 from repro.exceptions import ShardingError
+from repro.obs import Observability, ObservabilityConfig, capture, trace_span
 from repro.serving.fingerprint import fingerprint_problem
 from repro.serving.service import PlanResponse, PlanService, PlanServiceConfig
 from repro.serving.store import SharedStore
@@ -122,6 +123,22 @@ class ShardRouter:
 
     def __init__(self, config: ShardRouterConfig | None = None) -> None:
         self.config = config if config is not None else ShardRouterConfig()
+        # The router's own observability bundle: routing counters plus the
+        # span store/slow log of the front-end process (shard processes carry
+        # their own registries; their spans are shipped back and stitched
+        # here).  Tracing follows the service config's flag.
+        service_config = self.config.service_config
+        self.obs = Observability(
+            ObservabilityConfig(
+                enabled=service_config.observability,
+                slow_request_seconds=service_config.slow_request_seconds,
+            )
+        )
+        self._routed = self.obs.registry.counter(
+            "repro_router_requests_total",
+            "Requests routed (single submissions and batch members), by shard.",
+            labelnames=("shard",),
+        )
         self._ring = HashRing(virtual_nodes=self.config.virtual_nodes)
         self._shards: dict[str, object] = {}
         self._multiplexer = None
@@ -234,14 +251,20 @@ class ShardRouter:
         """Answer one request on the shard owning the problem's fingerprint."""
         if self._closed.is_set():
             raise ShardingError("the shard router has been closed")
-        fingerprint = fingerprint_problem(
-            problem, self.config.service_config.fingerprint_precision
-        )
-        with self._lock:
-            shard = self._shards[self._ring.node_for(fingerprint.key)]
-        # The fingerprint travels along so an in-proc shard's service skips
-        # the re-hash (a process shard recomputes in its own process).
-        return shard.submit(problem, budget_seconds=budget_seconds, fingerprint=fingerprint)
+        with trace_span("router.submit") as span:
+            fingerprint = fingerprint_problem(
+                problem, self.config.service_config.fingerprint_precision
+            )
+            with self._lock:
+                shard_id = self._ring.node_for(fingerprint.key)
+                shard = self._shards[shard_id]
+            span.annotate(shard=shard_id)
+            self._routed.inc(shard=shard_id)
+            # The fingerprint travels along so an in-proc shard's service skips
+            # the re-hash (a process shard recomputes in its own process).
+            return shard.submit(
+                problem, budget_seconds=budget_seconds, fingerprint=fingerprint
+            )
 
     def optimize_batch(
         self, problems: Sequence[OrderingProblem], budget_seconds: float | None = None
@@ -261,12 +284,25 @@ class ShardRouter:
                 groups.setdefault(self._ring.node_for(fingerprint.key), []).append(index)
             shards = {shard_id: self._shards[shard_id] for shard_id in groups}
 
+        # Fanout threads don't inherit the ambient trace contextvar; hand the
+        # captured activation to each sub-batch span explicitly.
+        context = capture()
+
+        def fan_out(shard, shard_problems, shard_fingerprints, shard_id):
+            with trace_span(
+                "router.fanout", context=context, shard=shard_id, size=len(shard_problems)
+            ):
+                return shard.optimize_batch(shard_problems, budget_seconds, shard_fingerprints)
+
+        for shard_id, indices in groups.items():
+            self._routed.inc(len(indices), shard=shard_id)
         futures = {
             shard_id: self._fanout.submit(
-                shards[shard_id].optimize_batch,
+                fan_out,
+                shards[shard_id],
                 [problems[index] for index in indices],
-                budget_seconds,
                 [fingerprints[index] for index in indices],
+                shard_id,
             )
             for shard_id, indices in groups.items()
         }
@@ -328,11 +364,18 @@ class ShardRouter:
             if lookups
             else 0.0
         )
+        routed_by_shard = {
+            key[0]: int(value) for key, value in sorted(self._routed.values().items())
+        }
         return {
             "shards": len(per_shard),
             "backend": self.config.backend,
             "cache": cache_totals,
             "requests": {**request_totals, "by_source": by_source},
+            "routing": {
+                "by_shard": routed_by_shard,
+                "total": sum(routed_by_shard.values()),
+            },
             "per_shard": per_shard,
         }
 

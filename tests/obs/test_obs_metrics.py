@@ -1,0 +1,161 @@
+"""Tests of the metrics registry: semantics, exposition, concurrency."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import MetricsRegistry, labelled, parse_prometheus_text
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = MetricsRegistry().counter("requests_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter("answered_total", labelnames=("source",))
+        counter.inc(source="hit")
+        counter.inc(3, source="cold")
+        assert counter.value(source="hit") == 1
+        assert counter.value(source="cold") == 3
+        assert counter.values() == {("hit",): 1.0, ("cold",): 3.0}
+
+    def test_cannot_decrease(self):
+        counter = MetricsRegistry().counter("requests_total")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_inc_zero_pretouches_a_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rejected_total", labelnames=("reason",))
+        counter.inc(0, reason="capacity")
+        assert 'rejected_total{reason="capacity"} 0' in registry.render()
+
+    def test_wrong_labels_raise(self):
+        counter = MetricsRegistry().counter("answered_total", labelnames=("source",))
+        with pytest.raises(ObservabilityError):
+            counter.inc(shard="a")
+        with pytest.raises(ObservabilityError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("pending")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == pytest.approx(6.05)
+        assert snapshot["buckets"] == {0.1: 1, 1.0: 3, math.inf: 4}
+
+    def test_buckets_must_strictly_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("worse", buckets=())
+
+
+class TestRegistry:
+    def test_registration_is_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_and_label_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("a", labelnames=("x",))
+        with pytest.raises(ObservabilityError):
+            registry.gauge("a")
+        with pytest.raises(ObservabilityError):
+            registry.counter("a", labelnames=("y",))
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("1bad")
+        with pytest.raises(ObservabilityError):
+            registry.counter("ok", labelnames=("bad-label",))
+
+    def test_render_round_trips_through_the_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("answered_total", "Answers.", labelnames=("source",)).inc(
+            7, source="hit"
+        )
+        registry.gauge("pending").set(3)
+        histogram = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.render()
+        assert "# TYPE answered_total counter" in text
+        assert "# TYPE latency_seconds histogram" in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["answered_total"][(("source", "hit"),)] == 7
+        assert parsed["pending"][()] == 3
+        assert parsed["latency_seconds_count"][()] == 2
+        assert parsed["latency_seconds_sum"][()] == pytest.approx(0.55)
+        assert parsed["latency_seconds_bucket"][(("le", "+Inf"),)] == 2
+
+    def test_callbacks_run_once_per_render(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("entries")
+        calls = []
+        registry.register_callback(lambda: (calls.append(1), gauge.set(len(calls)))[0])
+        registry.render()
+        registry.render()
+        assert gauge.value() == 2
+
+    def test_a_failing_callback_does_not_break_the_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("ok").inc()
+
+        def explode() -> None:
+            raise RuntimeError("refresh failed")
+
+        registry.register_callback(explode)
+        assert "ok 1" in registry.render()
+
+
+class TestConcurrency:
+    def test_counters_are_exact_under_eight_threads(self):
+        counter = MetricsRegistry().counter("hammered_total", labelnames=("thread",))
+        increments = 1000
+
+        def hammer(index: int) -> None:
+            for _ in range(increments):
+                counter.inc(thread=index % 2)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(thread=0) == 4 * increments
+        assert counter.value(thread=1) == 4 * increments
+        assert sum(counter.values().values()) == 8 * increments
+
+
+class TestLabelled:
+    def test_collapses_one_label_dimension(self):
+        samples = {
+            (("shard", "a"), ("status", "200")): 2.0,
+            (("shard", "a"), ("status", "503")): 1.0,
+            (("shard", "b"), ("status", "200")): 4.0,
+            (): 9.0,  # unlabelled samples are skipped
+        }
+        assert labelled(samples, "shard") == {"a": 3.0, "b": 4.0}

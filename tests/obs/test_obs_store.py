@@ -1,0 +1,95 @@
+"""Tests of the ring-buffer span store, tree stitching and the slow log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import SlowLog, Span, SpanStore
+
+
+def _span(trace_id: str, name: str, span_id: str, parent_id=None, start=0.0, duration=0.0):
+    span = Span(trace_id, name, parent_id=parent_id, span_id=span_id, start=start)
+    span.duration = duration
+    return span
+
+
+class TestSpanStore:
+    def test_ring_evicts_the_oldest_trace(self):
+        store = SpanStore(capacity=2)
+        for index in range(3):
+            store.add(f"t{index}", [_span(f"t{index}", "http.request", f"s{index}")])
+        assert store.trace_ids() == ["t1", "t2"]
+        assert store.get("t0") is None
+        assert len(store) == 2
+
+    def test_adding_to_an_existing_trace_appends_and_refreshes_recency(self):
+        store = SpanStore(capacity=2)
+        store.add("a", [_span("a", "one", "s1")])
+        store.add("b", [_span("b", "two", "s2")])
+        store.add("a", [_span("a", "three", "s3")])
+        store.add("c", [_span("c", "four", "s4")])  # evicts b, the stalest
+        assert store.trace_ids() == ["a", "c"]
+        assert [span["name"] for span in store.get("a")] == ["one", "three"]
+
+    def test_tree_stitches_parents_children_and_orphans(self):
+        store = SpanStore()
+        store.add(
+            "t",
+            [
+                _span("t", "http.request", "root", start=0.0, duration=1.0),
+                _span("t", "service.submit", "svc", parent_id="root", start=0.3),
+                _span("t", "cache.get", "cache", parent_id="svc", start=0.4),
+                # A worker span whose parent was produced in another process
+                # and never collected: it must surface as a root, not vanish.
+                _span("t", "worker.optimize", "orphan", parent_id="missing", start=0.5),
+                _span("t", "portfolio.race", "race", parent_id="svc", start=0.35),
+            ],
+        )
+        tree = store.tree("t")
+        assert tree["span_count"] == 5
+        assert tree["duration_seconds"] == pytest.approx(1.0)
+        assert [node["name"] for node in tree["roots"]] == ["http.request", "worker.optimize"]
+        service = tree["roots"][0]["children"][0]
+        assert service["name"] == "service.submit"
+        # Children are ordered by start time.
+        assert [child["name"] for child in service["children"]] == [
+            "portfolio.race",
+            "cache.get",
+        ]
+
+    def test_unknown_trace_is_none(self):
+        store = SpanStore()
+        assert store.tree("nope") is None
+        assert store.get("nope") is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            SpanStore(capacity=0)
+
+
+class TestSlowLog:
+    def test_records_only_breaching_spans(self):
+        log = SlowLog(threshold_seconds=0.5)
+        assert not log.record(_span("t", "fast", "s1", duration=0.1))
+        assert log.record(_span("t", "slow", "s2", duration=0.75))
+        entries = log.entries()
+        assert len(entries) == 1
+        assert entries[0]["name"] == "slow"
+        assert entries[0]["trace_id"] == "t"
+        assert entries[0]["duration_seconds"] == pytest.approx(0.75)
+
+    def test_disabled_without_a_threshold(self):
+        log = SlowLog(threshold_seconds=None)
+        assert not log.record(_span("t", "slow", "s", duration=60.0))
+        assert log.entries() == []
+
+    def test_capacity_bounds_the_log(self):
+        log = SlowLog(threshold_seconds=0.0, capacity=2)
+        for index in range(4):
+            log.record(_span("t", f"slow{index}", f"s{index}", duration=1.0))
+        assert [entry["name"] for entry in log.entries()] == ["slow2", "slow3"]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ObservabilityError):
+            SlowLog(threshold_seconds=-1.0)

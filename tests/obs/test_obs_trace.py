@@ -1,0 +1,106 @@
+"""Tests of trace activation, span nesting and cross-boundary handoff."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import (
+    NOOP_SPAN,
+    Span,
+    activate_trace,
+    capture,
+    current_trace,
+    emit_spans,
+    span_from_dict,
+    trace_span,
+)
+
+
+class TestInactive:
+    def test_trace_span_is_a_noop_without_an_activation(self):
+        with trace_span("cache.get") as span:
+            span.annotate(outcome="hit")
+        assert span is NOOP_SPAN
+        assert current_trace() is None
+        assert capture() is None
+
+    def test_emit_spans_without_an_activation_is_dropped(self):
+        emit_spans([{"trace_id": "t", "span_id": "s"}])  # must not raise
+
+
+class TestActivation:
+    def test_mints_a_trace_id_when_none_given(self):
+        with activate_trace() as active:
+            assert len(active.trace_id) == 32
+            assert current_trace() == (active.trace_id, None)
+        assert current_trace() is None
+
+    def test_adopts_a_caller_supplied_trace_and_parent(self):
+        with activate_trace("cafe" * 8, parent_id="beef") as active:
+            assert active.trace_id == "cafe" * 8
+            with trace_span("shard.submit") as span:
+                pass
+        assert span.parent_id == "beef"
+
+    def test_nested_spans_parent_onto_the_enclosing_span(self):
+        with activate_trace() as active:
+            with trace_span("service.submit") as outer:
+                with trace_span("cache.get", outcome="miss") as inner:
+                    pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.annotations == {"outcome": "miss"}
+        # Children finish first: the shared collection holds both.
+        assert [span.name for span in active.spans] == ["cache.get", "service.submit"]
+        assert all(span.trace_id == active.trace_id for span in active.spans)
+        assert all(span.duration >= 0.0 for span in active.spans)
+
+    def test_a_span_is_recorded_even_when_its_body_raises(self):
+        with activate_trace() as active:
+            try:
+                with trace_span("optimize.cold"):
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+        assert [span.name for span in active.spans] == ["optimize.cold"]
+
+
+class TestHandoff:
+    def test_captured_context_carries_the_trace_onto_another_thread(self):
+        with activate_trace() as active:
+            with trace_span("portfolio.race") as race:
+                context = capture()
+
+                def member() -> None:
+                    with trace_span("portfolio.member", context=context, algorithm="greedy"):
+                        pass
+
+                worker = threading.Thread(target=member)
+                worker.start()
+                worker.join()
+        names = {span.name: span for span in active.spans}
+        assert set(names) == {"portfolio.race", "portfolio.member"}
+        assert names["portfolio.member"].parent_id == race.span_id
+        assert names["portfolio.member"].trace_id == active.trace_id
+
+    def test_current_trace_collapses_to_a_wire_tuple(self):
+        with activate_trace("feed" * 8):
+            with trace_span("router.submit") as span:
+                assert current_trace() == ("feed" * 8, span.span_id)
+
+    def test_emit_spans_folds_remote_spans_into_the_activation(self):
+        remote = Span("feed" * 8, "worker.optimize", parent_id="abc")
+        remote.duration = 0.25
+        with activate_trace("feed" * 8) as active:
+            emit_spans([remote.to_dict()])
+        assert len(active.spans) == 1
+        assert active.spans[0]["name"] == "worker.optimize"
+
+
+class TestWireCodec:
+    def test_span_round_trips_through_its_dict_form(self):
+        span = Span("feed" * 8, "shard.batch", parent_id="p1", span_id="s1", start=12.5)
+        span.duration = 0.5
+        span.annotate(shard="shard-1", size=3)
+        rebuilt = span_from_dict(span.to_dict())
+        assert rebuilt.to_dict() == span.to_dict()

@@ -1,0 +1,103 @@
+"""Tests of the registry-backed serving metrics: snapshot shape, reasons,
+seeded-reservoir determinism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serving.metrics import LatencySummary, ServingMetrics
+
+
+class TestRegistryBacking:
+    def test_counters_live_in_the_shared_registry(self):
+        registry = MetricsRegistry()
+        metrics = ServingMetrics(registry=registry)
+        metrics.observe("hit", 0.01, cost=5.0, optimal=True)
+        metrics.record_rejection()
+        metrics.record_failure()
+        metrics.record_coalesced()
+        text = registry.render()
+        assert 'repro_requests_answered_total{source="hit"} 1' in text
+        assert 'repro_requests_rejected_total{reason="capacity"} 1' in text
+        assert "repro_requests_failed_total 1" in text
+        assert "repro_requests_coalesced_total 1" in text
+        assert "repro_answers_optimal_total 1" in text
+        assert 'repro_request_latency_seconds_count{source="hit"} 1' in text
+
+    def test_metrics_render_explicit_zeros_before_any_traffic(self):
+        metrics = ServingMetrics()
+        text = metrics.registry.render()
+        for source in ServingMetrics.SOURCES:
+            assert f'repro_requests_answered_total{{source="{source}"}} 0' in text
+        assert 'repro_requests_rejected_total{reason="capacity"} 0' in text
+
+    def test_snapshot_keeps_its_public_shape(self):
+        metrics = ServingMetrics()
+        metrics.observe("cold", 0.2, cost=10.0, optimal=False)
+        snapshot = metrics.snapshot()
+        assert set(snapshot) == {
+            "answered",
+            "rejected",
+            "failed",
+            "coalesced",
+            "by_source",
+            "rejected_by_reason",
+            "optimal_answers",
+            "mean_plan_cost",
+            "latency",
+        }
+        assert snapshot["answered"] == 1
+        assert snapshot["by_source"] == {"hit": 0, "stale": 0, "cold": 1}
+        assert snapshot["mean_plan_cost"] == pytest.approx(10.0)
+        assert snapshot["latency"]["cold"]["count"] == 1
+
+
+class TestRejectionReasons:
+    def test_rejections_are_counted_per_reason(self):
+        metrics = ServingMetrics()
+        metrics.record_rejection("queue_overflow")
+        metrics.record_rejection("queue_overflow")
+        metrics.record_rejection()  # defaults to "capacity"
+        assert metrics.rejected == 3
+        assert metrics.rejected_by_reason() == {"capacity": 1, "queue_overflow": 2}
+        assert metrics.snapshot()["rejected_by_reason"] == {
+            "capacity": 1,
+            "queue_overflow": 2,
+        }
+
+
+class TestSeededReservoir:
+    def test_identical_seeds_and_sequences_give_identical_quantiles(self):
+        # Push well past the reservoir capacity so Algorithm R actually makes
+        # seeded replacement decisions, then require bit-identical summaries.
+        rng = random.Random(42)
+        latencies = [rng.uniform(0.001, 1.0) for _ in range(500)]
+        snapshots = []
+        for _ in range(2):
+            metrics = ServingMetrics(reservoir_size=32, seed=7)
+            for latency in latencies:
+                metrics.observe("cold", latency, cost=1.0, optimal=False)
+            snapshots.append(metrics.snapshot()["latency"]["cold"])
+        assert snapshots[0] == snapshots[1]
+
+    def test_different_seeds_sample_differently(self):
+        rng = random.Random(42)
+        latencies = [rng.uniform(0.001, 1.0) for _ in range(500)]
+
+        def summary(seed: int) -> dict:
+            metrics = ServingMetrics(reservoir_size=32, seed=seed)
+            for latency in latencies:
+                metrics.observe("cold", latency, cost=1.0, optimal=False)
+            return metrics.snapshot()["latency"]["cold"]
+
+        assert summary(0) != summary(1)
+
+    def test_below_capacity_the_population_is_kept_exactly(self):
+        metrics = ServingMetrics(reservoir_size=100, seed=3)
+        for latency in (0.3, 0.1, 0.2):
+            metrics.observe("hit", latency, cost=1.0, optimal=False)
+        summary = metrics.latency("hit")
+        assert summary == LatencySummary.of([0.1, 0.2, 0.3])

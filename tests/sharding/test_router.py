@@ -96,6 +96,15 @@ class TestStats:
         assert set(per_shard) == set(router.shard_ids)
         assert sum(s["requests"]["answered"] for s in per_shard.values()) == 12
 
+    def test_routing_breakdown_sums_to_the_total(self, router, make_random_problem):
+        problems = [make_random_problem(5, seed) for seed in range(6)]
+        for problem in problems:
+            router.submit(problem)
+        router.optimize_batch(problems[:3])
+        routing = router.stats()["routing"]
+        assert set(routing["by_shard"]) <= set(router.shard_ids)
+        assert routing["total"] == sum(routing["by_shard"].values()) == 9
+
 
 class TestResize:
     def test_add_shard_moves_keys_only_onto_the_newcomer(self, router, make_random_problem):
