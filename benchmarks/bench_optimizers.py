@@ -31,6 +31,7 @@ import time
 from pathlib import Path
 
 from repro.core import OrderingProblem, optimize
+from repro.utils import runtime_provenance
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_optimizers.json"
 
@@ -156,6 +157,7 @@ def main(argv: list[str] | None = None) -> int:
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "provenance": runtime_provenance(),
         "results": results,
         "pre_kernel_baseline_seconds": PRE_KERNEL_BASELINE_SECONDS,
     }

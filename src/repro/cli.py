@@ -67,6 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="optimization algorithm",
     )
     optimize_cmd.add_argument("--json", action="store_true", help="print the result as JSON")
+    optimize_cmd.add_argument(
+        "--kernel",
+        default=None,
+        choices=("auto", "scalar", "vector"),
+        help="candidate-evaluation kernel: 'vector' batches whole candidate "
+        "sets through numpy (install repro[fast]), 'scalar' stays pure "
+        "Python, 'auto' picks per instance (default)",
+    )
 
     simulate = subparsers.add_parser("simulate", help="simulate a plan of a problem file")
     simulate.add_argument("problem", help="problem JSON file")
@@ -118,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fork", "forkserver", "spawn"),
         help="multiprocessing start method of the process backend "
         "(forkserver/spawn avoid forking from a threaded service)",
+    )
+    plan.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "scalar", "vector"),
+        help="candidate-evaluation kernel of the portfolio's optimizers "
+        "('vector' = numpy batch kernel, requires repro[fast])",
     )
 
     serve_cmd = subparsers.add_parser("serve", help="run the long-running JSON/HTTP plan service")
@@ -198,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="log requests slower than this many seconds to GET /slowlog "
         "(implies nothing by itself: combine with --observability)",
     )
+    serve_cmd.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "scalar", "vector"),
+        help="candidate-evaluation kernel for every optimization this "
+        "server (and its shard/pool processes) runs "
+        "('vector' = numpy batch kernel, requires repro[fast])",
+    )
 
     top = subparsers.add_parser(
         "top", help="poll a running server's GET /metrics and render per-shard load"
@@ -256,6 +279,10 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_optimize(args: argparse.Namespace) -> int:
+    if args.kernel is not None:
+        from repro.core.vector import set_default_kernel
+
+        set_default_kernel(args.kernel)
     problem = load_problem(args.problem)
     result = optimize(problem, algorithm=args.algorithm)
     if args.json:
@@ -319,6 +346,7 @@ def _command_plan(args: argparse.Namespace) -> int:
         stale_while_revalidate=args.cached,
         portfolio_backend=args.backend,
         mp_context=args.mp_context,
+        kernel=args.kernel,
     )
     with PlanService(config) as service:
         responses = [service.submit(problem) for _ in range(args.repeat)]
@@ -335,6 +363,7 @@ def _command_plan(args: argparse.Namespace) -> int:
             print(f"plan: {' -> '.join(responses[-1].service_names)}")
             cache_stats = service.stats()["cache"]
             print(f"cache hit rate: {cache_stats['hit_rate']:.0%}")
+            print(f"kernel: {service.active_kernel()} (requested {args.kernel})")
     return 0
 
 
@@ -358,6 +387,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         revalidation_backend=args.revalidation_backend,
         observability=args.observability,
         slow_request_seconds=args.slow_threshold,
+        kernel=args.kernel,
     )
     if args.shards > 1:
         from repro.sharding import ShardRouter, ShardRouterConfig
@@ -390,8 +420,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"cannot bind {args.host}:{args.port}: {error.strerror or error}"
             ) from error
+        from repro.core.vector import resolve_kernel
+
+        kernel = resolve_kernel(args.kernel if args.kernel != "auto" else None)
         print(
-            f"plan service ({topology}) listening on http://{host}:{port} "
+            f"plan service ({topology}, {kernel} kernel) listening on "
+            f"http://{host}:{port} "
             f"({flavour}POST /plan, POST /plan/batch, GET /stats, GET /metrics)"
         )
         try:

@@ -43,9 +43,19 @@ from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult, SearchStatistics
 from repro.core.service import Service, ServiceRegistry
 from repro.core.srivastava import SrivastavaOptimizer, srivastava
+from repro.core.vector import (
+    BatchEvaluator,
+    batch_evaluator,
+    default_kernel,
+    numpy_available,
+    prepare_kernel,
+    resolve_kernel,
+    set_default_kernel,
+)
 
 __all__ = [
     "ALGORITHMS",
+    "BatchEvaluator",
     "BeamSearchOptimizer",
     "BottleneckPathResult",
     "BottleneckPathSolver",
@@ -75,12 +85,14 @@ __all__ = [
     "StageCost",
     "SuccessorOrder",
     "available_algorithms",
+    "batch_evaluator",
     "beam_search",
     "bottleneck_cost",
     "bottleneck_path",
     "bottleneck_stage",
     "branch_and_bound",
     "compare",
+    "default_kernel",
     "distance_matrix_from_problem",
     "dynamic_programming",
     "epsilon_bar",
@@ -90,10 +102,14 @@ __all__ = [
     "initial_upper_bound",
     "is_bottleneck_tsp_instance",
     "max_residual_cost",
+    "numpy_available",
     "optimize",
     "prefix_products",
+    "prepare_kernel",
     "problem_from_distance_matrix",
     "random_plan",
+    "resolve_kernel",
+    "set_default_kernel",
     "simulated_annealing",
     "srivastava",
     "stage_costs",

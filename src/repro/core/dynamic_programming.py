@@ -21,12 +21,29 @@ shapes (``rate * c + rate * sigma * t``), so the winning plan's reported cost
 is bit-identical to the from-scratch cost model, and the iteration order
 (mask ascending, last ascending, next ascending, strict improvement) is
 unchanged — the flat layout returns exactly the plans the dict layout did.
+
+On the vector kernel (:mod:`repro.core.vector`) the programme is processed
+*layer by layer* (masks grouped by popcount): all reachable ``(mask, last)``
+states of a layer become one ``states × services`` settled-term matrix
+(:meth:`~repro.core.vector.BatchEvaluator.transition_terms`), and grouped
+``minimum.reduceat`` reductions write every layer-``k+1`` cell in a handful
+of array operations.  This reorders the relaxations relative to the scalar
+mask-ascending sweep, but each target cell ``(mask | bit(next), next)`` has a
+*unique* source mask (``mask``), so its final value is a min over one group
+however the sweep is ordered — and taking the *first* row of the group
+attaining the min reproduces the scalar strict-improvement parent tie-break
+(last ascending).  Both kernels therefore return the identical plan with
+bit-identical cost.  ``dp_states`` (cells reached) matches the scalar count
+exactly; ``nodes_expanded`` counts cell writes, which on the vector path
+equals ``dp_states`` rather than the scalar sweep's path-dependent
+strict-improvement count.
 """
 
 from __future__ import annotations
 
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult, SearchStatistics
+from repro.core.vector import batch_evaluator, resolve_kernel
 from repro.exceptions import OptimizationError, ProblemTooLargeError
 from repro.utils.timing import Stopwatch
 
@@ -34,16 +51,30 @@ __all__ = ["DynamicProgrammingOptimizer", "dynamic_programming"]
 
 _INF = float("inf")
 
+_VECTOR_DP_MAX_SIZE = 20
+"""Largest instance the layered vector sweep takes on: it keeps dense
+``(2^n, n)`` value/parent tables, ~250 MB at n=20.  Beyond that (only
+reachable with an explicit ``max_size`` override) the lazily-allocated
+scalar sweep is the safer memory trade."""
+
+_VECTOR_DP_CHUNK_MASKS = 4096
+"""Masks per batched chunk of a layer, bounding the transient term/candidate
+matrices to a few tens of MB at the largest supported n."""
+
 
 class DynamicProgrammingOptimizer:
     """Exact optimizer based on subset dynamic programming."""
 
     name = "dynamic_programming"
 
-    def __init__(self, max_size: int = 18) -> None:
+    def __init__(
+        self, max_size: int = 18, kernel: str | None = None, fast_math: bool = False
+    ) -> None:
         if max_size < 1:
             raise ValueError("max_size must be positive")
         self.max_size = max_size
+        self.kernel = kernel
+        self.fast_math = fast_math
 
     def optimize(self, problem: OrderingProblem) -> OptimizationResult:
         """Return the optimal plan for ``problem`` via subset DP."""
@@ -56,6 +87,9 @@ class DynamicProgrammingOptimizer:
         stopwatch = Stopwatch().start()
         stats = SearchStatistics()
         evaluator = problem.evaluator()
+        kernel = resolve_kernel(self.kernel, size)
+        if kernel == "vector" and size > _VECTOR_DP_MAX_SIZE:
+            kernel = "scalar"
         costs = evaluator.costs
         selectivities = evaluator.selectivities
         rows = evaluator.rows
@@ -71,6 +105,43 @@ class DynamicProgrammingOptimizer:
                     mask |= 1 << pred
                 predecessor_masks[index] = mask
 
+        # Selectivity product of every subset, built incrementally by lowest
+        # set bit.  Both kernels share this scalar build: the multiplication
+        # *order* per subset is part of the bit-exactness contract, so the
+        # vector path converts the finished table instead of recomputing it.
+        subset_product = [1.0] * (1 << size)
+        for mask in range(1, 1 << size):
+            lowest = (mask & -mask).bit_length() - 1
+            subset_product[mask] = subset_product[mask ^ (1 << lowest)] * selectivities[lowest]
+
+        if kernel == "vector":
+            order, dp_states, best_cost = self._sweep_vector(
+                evaluator, predecessor_masks, subset_product, stats
+            )
+        else:
+            order, dp_states, best_cost = self._sweep_scalar(
+                size, costs, selectivities, rows, sink,
+                predecessor_masks, subset_product, full_mask, stats,
+            )
+
+        stats.extra["dp_states"] = dp_states
+        stats.extra["kernel"] = kernel
+        stats.elapsed_seconds = stopwatch.stop()
+
+        if order is None:
+            raise OptimizationError("no feasible ordering satisfies the precedence constraints")
+
+        plan = problem.plan(order)
+        return OptimizationResult(
+            plan=plan, cost=plan.cost, algorithm=self.name, optimal=True, statistics=stats
+        )
+
+    # -- scalar sweep --------------------------------------------------------
+
+    def _sweep_scalar(
+        self, size, costs, selectivities, rows, sink,
+        predecessor_masks, subset_product, full_mask, stats,
+    ) -> tuple[list[int] | None, int, float]:
         # Per-service static transition tuples: every feasible-by-identity
         # successor of `last` with its bit, precedence mask and transfer cost.
         successors: list[tuple[tuple[int, int, int, float], ...]] = [
@@ -81,12 +152,6 @@ class DynamicProgrammingOptimizer:
             )
             for last in range(size)
         ]
-
-        # Selectivity product of every subset, built incrementally by lowest set bit.
-        subset_product = [1.0] * (1 << size)
-        for mask in range(1, 1 << size):
-            lowest = (mask & -mask).bit_length() - 1
-            subset_product[mask] = subset_product[mask ^ (1 << lowest)] * selectivities[lowest]
 
         # values[mask][last] is the smallest achievable maximum over the
         # settled terms of mask \ {last}; parents[mask][last] the predecessor
@@ -158,17 +223,107 @@ class DynamicProgrammingOptimizer:
                     best_cost = total
                     best_last = last
 
-        stats.extra["dp_states"] = dp_states
-        stats.elapsed_seconds = stopwatch.stop()
-
         if best_last < 0:
-            raise OptimizationError("no feasible ordering satisfies the precedence constraints")
+            return None, dp_states, best_cost
+        return self._reconstruct(parents, full_mask, best_last), dp_states, best_cost
 
-        order = self._reconstruct(parents, full_mask, best_last)
-        plan = problem.plan(order)
-        return OptimizationResult(
-            plan=plan, cost=plan.cost, algorithm=self.name, optimal=True, statistics=stats
-        )
+    # -- layered vector sweep -------------------------------------------------
+
+    def _sweep_vector(
+        self, evaluator, predecessor_masks, subset_product, stats
+    ) -> tuple[list[int] | None, int, float]:
+        import numpy as np
+
+        batch = batch_evaluator(evaluator, self.fast_math)
+        size = evaluator.size
+        full_mask = (1 << size) - 1
+        products = np.asarray(subset_product, dtype=np.float64)
+        pred_np = np.asarray(predecessor_masks, dtype=np.int64)
+        bits = np.int64(1) << np.arange(size, dtype=np.int64)
+
+        values = np.full(((1 << size), size), _INF, dtype=np.float64)
+        parents = np.full(((1 << size), size), -1, dtype=np.int32)
+
+        seed_services = [index for index in range(size) if predecessor_masks[index] == 0]
+        for index in seed_services:
+            values[1 << index, index] = 0.0
+        dp_states = len(seed_services)
+        stats.nodes_expanded = dp_states
+        # 1 << i is increasing in i, so the seed layer is already mask-ascending.
+        layer_masks = np.array([1 << index for index in seed_services], dtype=np.int64)
+
+        for _ in range(size - 1):
+            if layer_masks.size == 0:
+                break
+            next_masks: list[np.ndarray] = []
+            for start in range(0, layer_masks.size, _VECTOR_DP_CHUNK_MASKS):
+                chunk = layer_masks[start : start + _VECTOR_DP_CHUNK_MASKS]
+                value_rows = values[chunk]
+                # Row-major nonzero: states come out (mask ascending, last
+                # ascending) — the order the parent tie-break relies on.
+                group_ids, lasts = np.nonzero(np.isfinite(value_rows))
+                state_values = value_rows[group_ids, lasts]
+                state_masks = chunk[group_ids]
+                rates_before = products[state_masks ^ (np.int64(1) << lasts)]
+                terms = batch.transition_terms(rates_before, lasts)
+                candidates = np.maximum(state_values[:, None], terms)
+
+                # Every chunk mask has at least one finite state (it was
+                # reached), so group g of the reduceat output is chunk[g].
+                starts = np.flatnonzero(
+                    np.concatenate(([True], group_ids[1:] != group_ids[:-1]))
+                )
+                mins = np.minimum.reduceat(candidates, starts, axis=0)
+                # First state row attaining each group minimum = the scalar
+                # sweep's strict-improvement winner (lasts ascend within a mask).
+                row_index = np.arange(len(group_ids))
+                hits = np.where(
+                    candidates == mins[group_ids], row_index[:, None], len(group_ids)
+                )
+                first_rows = np.minimum.reduceat(hits, starts, axis=0)
+                winning_last = lasts[np.minimum(first_rows, len(group_ids) - 1)]
+
+                feasible = ((chunk[:, None] & bits[None, :]) == 0) & (
+                    (pred_np[None, :] & ~chunk[:, None]) == 0
+                )
+                target_rows, target_cols = np.nonzero(feasible)
+                if not target_rows.size:
+                    continue
+                target_masks = chunk[target_rows] | bits[target_cols]
+                # Each target cell has a unique source mask, so these writes
+                # never collide — plain scatter assignment is the full relax.
+                values[target_masks, target_cols] = mins[target_rows, target_cols]
+                parents[target_masks, target_cols] = winning_last[target_rows, target_cols]
+                dp_states += target_rows.size
+                stats.nodes_expanded += target_rows.size
+                next_masks.append(target_masks)
+            if not next_masks:
+                layer_masks = np.array([], dtype=np.int64)
+                break
+            layer_masks = np.unique(np.concatenate(next_masks))
+
+        final_row = values[full_mask]
+        finite = np.isfinite(final_row)
+        if not finite.any():
+            return None, dp_states, _INF
+        rates_before = products[np.int64(full_mask) ^ bits]
+        totals = np.maximum(final_row, batch.completion_terms(rates_before))
+        totals[~finite] = _INF
+        stats.plans_evaluated += int(finite.sum())
+        best_last = int(totals.argmin())
+        best_cost = float(totals[best_last])
+
+        order_reversed = [best_last]
+        mask, last = full_mask, best_last
+        while True:
+            previous = int(parents[mask, last])
+            if previous < 0:
+                break
+            mask ^= 1 << last
+            last = previous
+            order_reversed.append(last)
+        order_reversed.reverse()
+        return order_reversed, dp_states, best_cost
 
     @staticmethod
     def _reconstruct(parents: list[list[int] | None], mask: int, last: int) -> list[int]:

@@ -74,7 +74,13 @@ class KernelProfile:
     single-threaded optimizer processes where most evaluation happens).
     """
 
-    __slots__ = ("full_evaluations", "bounded_evaluations", "delta_evaluations", "started")
+    __slots__ = (
+        "full_evaluations",
+        "bounded_evaluations",
+        "delta_evaluations",
+        "batch_evaluations",
+        "started",
+    )
 
     def __init__(self) -> None:
         self.full_evaluations = 0
@@ -83,6 +89,10 @@ class KernelProfile:
         """Short-circuited scores (:meth:`PlanEvaluator.cost_bounded`)."""
         self.delta_evaluations = 0
         """Neighborhood delta scans (:meth:`NeighborhoodEvaluator._scan`)."""
+        self.batch_evaluations = 0
+        """Candidates scored through the vector kernel
+        (:class:`repro.core.vector.BatchEvaluator`) — incremented once per
+        batch call by the batch size, so profiling cost stays per-call."""
         self.started = time.perf_counter()
 
     def counts(self) -> dict[str, int]:
@@ -91,17 +101,24 @@ class KernelProfile:
             "full": self.full_evaluations,
             "bounded": self.bounded_evaluations,
             "delta": self.delta_evaluations,
+            "batch": self.batch_evaluations,
         }
 
     def snapshot(self) -> dict[str, float | int]:
         """Counters plus derived rates, JSON-ready for a stats endpoint."""
         elapsed = time.perf_counter() - self.started
-        total = self.full_evaluations + self.bounded_evaluations + self.delta_evaluations
+        total = (
+            self.full_evaluations
+            + self.bounded_evaluations
+            + self.delta_evaluations
+            + self.batch_evaluations
+        )
         full_or_bounded = self.full_evaluations + self.bounded_evaluations
         return {
             "full_evaluations": self.full_evaluations,
             "bounded_evaluations": self.bounded_evaluations,
             "delta_evaluations": self.delta_evaluations,
+            "batch_evaluations": self.batch_evaluations,
             "evaluations_per_second": total / elapsed if elapsed > 0 else 0.0,
             # How much work delta evaluation displaced: the share of scoring
             # answered by windowed scans instead of full/bounded passes.
@@ -153,10 +170,14 @@ class PlanEvaluator:
         "rows",
         "sink",
         "predecessor_masks",
+        "batch_cache",
     )
 
     def __init__(self, problem: "OrderingProblem") -> None:
         self.problem = problem
+        self.batch_cache: dict | None = None
+        """Lazily-populated :class:`repro.core.vector.BatchEvaluator` cache,
+        keyed by ``fast_math`` — managed by :func:`repro.core.vector.batch_evaluator`."""
         self.size = problem.size
         self.costs: tuple[float, ...] = problem.costs
         self.selectivities: tuple[float, ...] = problem.selectivities

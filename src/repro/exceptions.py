@@ -48,6 +48,11 @@ class ProblemTooLargeError(OptimizationError):
     """An exact algorithm was asked to solve an instance beyond its configured size guard."""
 
 
+class KernelError(ReproError):
+    """An evaluation kernel was misconfigured or unavailable (e.g. the vector
+    kernel was requested explicitly but numpy is not installed)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 

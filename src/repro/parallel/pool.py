@@ -44,6 +44,7 @@ from typing import Mapping, Sequence
 
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult
+from repro.core.vector import prepare_kernel
 from repro.exceptions import OptimizationError, ParallelError, ReproError
 from repro.obs.trace import Span, current_trace, emit_spans
 from repro.parallel.codec import result_from_wire, result_to_wire
@@ -92,7 +93,12 @@ def _decode_cached(
         cache.move_to_end(payload)
         return problem, True
     problem = problem_from_wire(payload)
-    problem.evaluator()  # build the kernel once, while the problem is cold
+    # Build the kernel once, while the problem is cold: the scalar evaluator
+    # always, plus the shared vectorized scorer when the kernel (inherited
+    # from the parent via REPRO_KERNEL) resolves to "vector" — so an
+    # optimize_many batch of deduped problems scores every beam front,
+    # neighbourhood and DP layer through one warm BatchEvaluator per problem.
+    prepare_kernel(problem)
     cache[payload] = problem
     while len(cache) > capacity:
         cache.popitem(last=False)

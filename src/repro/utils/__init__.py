@@ -1,5 +1,6 @@
 """Shared utilities: seeded RNG helpers, timers, table rendering, validation."""
 
+from repro.utils.provenance import runtime_provenance
 from repro.utils.rng import SeedSequence, derive_rng, spawn_seeds
 from repro.utils.timing import Stopwatch, format_duration
 from repro.utils.tables import Table, format_markdown_table
@@ -24,4 +25,5 @@ __all__ = [
     "require_non_negative",
     "require_positive",
     "require_probability",
+    "runtime_provenance",
 ]

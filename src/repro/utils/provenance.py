@@ -1,0 +1,53 @@
+"""Runtime provenance for benchmark artifacts.
+
+Benchmark JSON files are committed to the repository, so a number measured on
+one machine will be read on another.  :func:`runtime_provenance` captures the
+facts a reader needs to judge comparability — interpreter, platform, numpy
+version and the BLAS numpy was built against — in one JSON-ready dict.
+
+Everything degrades gracefully: without numpy the numpy/BLAS fields are
+``None``, and BLAS introspection failures (the ``show_config`` API has moved
+between numpy releases) never propagate.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from typing import Any
+
+
+def _blas_info() -> dict[str, Any] | None:
+    """Name/version of the BLAS numpy links, or ``None`` if undiscoverable."""
+    try:
+        import numpy as np
+
+        config = np.show_config(mode="dicts")  # numpy >= 1.25
+    except Exception:
+        return None
+    if not isinstance(config, dict):
+        return None
+    blas = config.get("Build Dependencies", {}).get("blas", {})
+    if not isinstance(blas, dict):
+        return None
+    info = {key: blas[key] for key in ("name", "version") if blas.get(key)}
+    return info or None
+
+
+def runtime_provenance() -> dict[str, Any]:
+    """A JSON-ready snapshot of the interpreter/numpy/BLAS this process runs on."""
+    try:
+        import numpy as np
+
+        numpy_version: str | None = np.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "executable": sys.executable,
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+        "blas": _blas_info() if numpy_version is not None else None,
+    }

@@ -254,3 +254,38 @@ class TestServingMetrics:
             metrics.observe("hit", float(index), 1.0, False)
         assert metrics.latency("hit").count == 8
         assert metrics.snapshot()["by_source"]["hit"] == 100
+
+
+class TestKernelConfig:
+    def test_unknown_kernel_is_rejected_at_config_time(self):
+        with pytest.raises(ServingError):
+            PlanServiceConfig(kernel="simd")
+
+    def test_stats_report_requested_and_active_kernel(self, service):
+        kernel = service.stats()["kernel"]
+        assert kernel["requested"] == "auto"
+        assert kernel["active"] in ("scalar", "vector")
+        assert isinstance(kernel["numpy"], bool)
+        assert kernel["active"] == service.active_kernel()
+
+    def test_explicit_scalar_kernel_installs_process_default(self):
+        from repro.core.vector import default_kernel, set_default_kernel
+
+        try:
+            config = PlanServiceConfig(budget_seconds=None, kernel="scalar")
+            with PlanService(config) as plan_service:
+                assert plan_service.active_kernel() == "scalar"
+                assert default_kernel() == "scalar"
+                kernel = plan_service.stats()["kernel"]
+                assert kernel["requested"] == "scalar"
+                assert kernel["active"] == "scalar"
+        finally:
+            set_default_kernel(None)
+
+    def test_kernel_active_gauge_is_one_hot(self, service, four_service_problem):
+        service.submit(four_service_problem)
+        rendered = service.obs.registry.render()
+        active = service.active_kernel()
+        inactive = "scalar" if active == "vector" else "vector"
+        assert f'repro_kernel_active{{kernel="{active}"}} 1' in rendered
+        assert f'repro_kernel_active{{kernel="{inactive}"}} 0' in rendered

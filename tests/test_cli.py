@@ -99,6 +99,21 @@ class TestPlan:
         assert main(["plan", problem_file, "--repeat", "0"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_kernel_knob_is_reported(self, problem_file, capsys):
+        from repro.core.vector import set_default_kernel
+
+        try:
+            assert main(["plan", problem_file, "--kernel", "scalar"]) == 0
+            output = capsys.readouterr().out
+            assert "kernel: scalar (requested scalar)" in output
+        finally:
+            set_default_kernel(None)
+
+    def test_unknown_kernel_rejected_by_argparse(self, problem_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["plan", problem_file, "--kernel", "simd"])
+        assert "invalid choice" in capsys.readouterr().err
+
 
 class TestServe:
     def test_serve_binds_and_shuts_down(self, capsys, monkeypatch):
