@@ -44,6 +44,7 @@ from pathlib import Path
 from repro.serialization import problem_to_dict
 from repro.serving import PlanService, PlanServiceConfig, serve, serve_async
 from repro.sharding import ShardRouter, ShardRouterConfig
+from repro.utils import runtime_provenance
 from repro.workloads import credit_card_screening
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_async.json"
@@ -309,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "provenance": runtime_provenance(),
         "isolation": isolation,
         "multiplexer": multiplexer,
         "acceptance": acceptance,

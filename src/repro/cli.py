@@ -411,7 +411,12 @@ def _command_serve(args: argparse.Namespace) -> int:
 
                 front_end = serve_async(service, host=args.host, port=args.port)
                 host, port = front_end.address
-                flavour = "async front end; "
+                # Process shards answer as event-loop futures (zero bridge
+                # threads); in-proc services fall back to the bounded bridge.
+                if front_end.server.native_async:
+                    flavour = "native async shard path; "
+                else:
+                    flavour = "async front end; "
             else:
                 front_end = serve(service, host=args.host, port=args.port)
                 host, port = front_end.server_address[:2]
@@ -603,6 +608,14 @@ def _command_bench(args: argparse.Namespace) -> int:
     spec = importlib.util.spec_from_file_location(name, path)
     assert spec is not None and spec.loader is not None
     module = importlib.util.module_from_spec(spec)
+    # Register the module and its directory so it behaves like a normal
+    # import: benchmarks that spawn worker processes pickle module-level
+    # functions, which needs the parent's sys.modules entry to match and the
+    # child (which inherits sys.path) to be able to re-import it by name.
+    sys.modules[name] = module
+    parent_dir = str(path.resolve().parent)
+    if parent_dir not in sys.path:
+        sys.path.insert(0, parent_dir)
     spec.loader.exec_module(module)
     if not hasattr(module, "main"):
         raise ReproError(f"{path} does not expose a main(argv) entry point")

@@ -43,6 +43,7 @@ from dataclasses import dataclass, replace
 from repro.core.evaluation import PrefixState
 from repro.core.problem import OrderingProblem
 from repro.core.result import OptimizationResult, SearchStatistics
+from repro.core.vector import batch_evaluator, resolve_kernel
 from repro.exceptions import OptimizationError, SearchLimitExceededError
 from repro.utils.timing import Stopwatch
 
@@ -93,6 +94,15 @@ class BranchAndBoundOptions:
     time_limit: float | None = None
     """Abort (with :class:`SearchLimitExceededError`) after this many seconds."""
 
+    kernel: str | None = None
+    """Evaluation kernel for successor scoring: ``"scalar"``, ``"vector"`` or
+    ``"auto"`` (``None`` consults the process default).  On the vector kernel
+    the two scalar scoring loops — cheapest-``ε``-term successor ordering and
+    the best-pair ordering of first services — run as single
+    :meth:`~repro.core.vector.BatchEvaluator.score_front` calls.  Exploration
+    order, pruning decisions, statistics and the returned plan are identical
+    bit for bit (the batch ``ε`` matches the scalar one exactly)."""
+
     def __post_init__(self) -> None:
         if self.successor_order not in SuccessorOrder.ALL:
             raise ValueError(
@@ -130,6 +140,9 @@ class BranchAndBoundOptimizer:
         self._stopwatch = stopwatch
         self._problem = problem
         self._evaluator = problem.evaluator()
+        kernel = resolve_kernel(self.options.kernel, problem.size)
+        self._batch = batch_evaluator(self._evaluator) if kernel == "vector" else None
+        stats.extra["kernel"] = kernel
 
         if self.options.seed_incumbent:
             self._seed_incumbent(problem)
@@ -252,14 +265,63 @@ class BranchAndBoundOptimizer:
         if order == SuccessorOrder.INDEX:
             return sorted(candidates)
         if order == SuccessorOrder.CHEAPEST_TERM:
+            if self._batch is not None and len(candidates) > 1:
+                return self._vector_cheapest_term(partial)
             return sorted(candidates, key=lambda index: (partial.extend(index).epsilon, index))
         # Cheapest-transfer policy (the paper's): for the empty prefix, order
         # first services by the cost of their best pair, which realises the
         # "append the less expensive pair of WSs" start of the algorithm.
         if partial.is_empty:
+            if self._batch is not None and len(candidates) > 1:
+                return self._vector_best_pairs(candidates)
             return sorted(candidates, key=lambda index: (self._best_pair_cost(index), index))
         row = self._evaluator.rows[partial.last]
         return sorted(candidates, key=lambda index: (row[index], index))
+
+    def _vector_cheapest_term(self, partial: PrefixState) -> list[int]:
+        """Batch variant of the cheapest-``ε``-term ordering (bit-identical).
+
+        One :meth:`~repro.core.vector.BatchEvaluator.score_front` call scores
+        every feasible extension; extensions arrive index-ascending, so a
+        stable argsort over the (exactly scalar-equal) epsilons reproduces the
+        scalar ``(ε, index)`` sort key.
+        """
+        import numpy as np
+
+        final = partial.length + 1 == self._problem.size
+        _, extensions, epsilons = self._batch.score_front([partial], final)
+        ranking = np.argsort(epsilons, kind="stable")
+        return [int(extensions[position]) for position in ranking]
+
+    def _vector_best_pairs(self, candidates: list[int]) -> list[int]:
+        """Batch variant of the best-pair first-service ordering (bit-identical).
+
+        Scores every feasible second service of every single-service prefix in
+        one call and takes the per-parent minimum — the same ``min`` over the
+        same exactly-equal epsilons the scalar :meth:`_best_pair_cost` loop
+        computes.  A first service whose every successor is constrained out
+        keeps its own ``ε`` as cost, mirroring the scalar fallback.
+        """
+        import numpy as np
+
+        root = self._evaluator.root()
+        starts = [root.extend(first) for first in candidates]
+        parents, _, epsilons = self._batch.score_front(starts, self._problem.size == 2)
+        pair_costs = np.fromiter(
+            (start.epsilon for start in starts), dtype=np.float64, count=len(starts)
+        )
+        if len(parents):
+            minima = np.full(len(starts), np.inf)
+            np.minimum.at(minima, parents, epsilons)
+            children = np.bincount(parents, minlength=len(starts))
+            pair_costs = np.where(children > 0, minima, pair_costs)
+        return [
+            candidates[position]
+            for position in sorted(
+                range(len(candidates)),
+                key=lambda position: (pair_costs[position], candidates[position]),
+            )
+        ]
 
     def _best_pair_cost(self, first: int) -> float:
         """Bottleneck cost of the best two-service prefix starting with ``first``."""

@@ -45,6 +45,7 @@ from repro.serving.http import (
     MAX_BODY_BYTES,
     PlanServer,
     dispatch_request,
+    dispatch_request_async,
     response_from_dict,
     response_to_dict,
     serve,
@@ -87,6 +88,7 @@ __all__ = [
     "SharedStore",
     "SingleFlight",
     "dispatch_request",
+    "dispatch_request_async",
     "fingerprint_problem",
     "quantize",
     "response_from_dict",

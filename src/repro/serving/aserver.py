@@ -10,14 +10,18 @@ count.  This module serves the same four routes from a single event loop:
 * **connections** are ``asyncio`` streams — reading the request head and body
   and writing the response are awaited, so a slow peer suspends one coroutine
   (a few KB) rather than occupying a thread;
-* **request handling** bridges to the same blocking service surface
-  (``submit`` / ``optimize_batch`` / ``stats`` — a
-  :class:`~repro.serving.service.PlanService` or a
-  :class:`~repro.sharding.router.ShardRouter`) through a *bounded*
-  ``run_in_executor`` pool sized off the backend's admission control, and
-  routes through the exact same :func:`~repro.serving.http.dispatch_request`
-  core as the threaded server, so status mapping (400/404/413/503/500) is
-  identical by construction;
+* **request handling** is *native async* when the backend supports it: a
+  process-shard :class:`~repro.sharding.router.ShardRouter` exposes
+  ``submit_async`` / ``optimize_batch_async`` (``supports_async``), so POSTs
+  are awaited end to end — the request suspends on an ``asyncio.Future``
+  that the shard multiplexer resolves via ``loop.call_soon_threadsafe``,
+  and **zero** handler threads exist anywhere on the request path.  In-proc
+  backends (a plain :class:`~repro.serving.service.PlanService`) fall back
+  to a *bounded* ``run_in_executor`` bridge sized off the backend's
+  admission control.  Both paths route through the shared dispatch core
+  (:func:`~repro.serving.http.dispatch_request` /
+  :func:`~repro.serving.http.dispatch_request_async`), so status mapping
+  (400/404/413/503/500) and response bytes are identical by construction;
 * **overload** stays crisp: when every executor slot is bridging a request,
   further POSTs are answered 503 immediately (mirroring
   :class:`~repro.exceptions.AdmissionError`) instead of queueing unboundedly
@@ -31,8 +35,10 @@ HTTP/1.1 parsing is hand-rolled and minimal (request line, headers,
 ``Content-Length``-framed bodies, keep-alive) in the repository's
 stdlib-only style.  Process shards behind a router keep answering through
 the process-wide :class:`~repro.sharding.multiplexer.ResponseMultiplexer`,
-so the whole serving stack runs two long-lived event loops — this one for
-sockets, that one for shard pipes — plus the bounded bridge pool.
+so a native-async process-shard deployment runs exactly one event loop for
+sockets plus one selector thread for shard pipes — no bridge threads at
+all (the bridge pools exist but never spawn a thread until first use, and
+the native path never uses the plan bridge).
 
 ``benchmarks/bench_async.py`` measures the payoff: K deliberately slow
 clients leave fast-client latency through this server at its baseline while
@@ -54,6 +60,7 @@ from repro.serving.http import (
     PayloadTooLargeError,
     PlanBackend,
     dispatch_request,
+    dispatch_request_async,
     validated_content_length,
 )
 from repro.serving.service import PlanServiceConfig
@@ -131,12 +138,22 @@ class AsyncPlanServer:
         max_body_bytes: int = MAX_BODY_BYTES,
         max_workers: int | None = None,
         request_timeout: float = REQUEST_TIMEOUT_SECONDS,
+        native_async: bool | None = None,
     ) -> None:
         self.plan_service = plan_service
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
         self.request_timeout = request_timeout
+        # Native path: awaitable end-to-end when the backend says it can
+        # (a process-shard ShardRouter sets ``supports_async``).  The
+        # explicit override exists for benchmarks that force the bridged
+        # path on an async-capable backend (and for belt-and-braces opt-out).
+        self.native_async = (
+            native_async
+            if native_async is not None
+            else bool(getattr(plan_service, "supports_async", False))
+        )
         self.max_workers = (
             max_workers if max_workers is not None else _admission_sized_workers(plan_service)
         )
@@ -307,15 +324,25 @@ class AsyncPlanServer:
                 self._aux_executor, dispatch_request, self.plan_service, method, path, body
             )
         if self._bridged >= self.max_workers:
-            # The bridge is exactly admission-sized, so a full pool means the
-            # backend would reject this request anyway — say so without
-            # spending a thread (the async mirror of AdmissionError).
+            # The front door is exactly admission-sized, so hitting the bound
+            # means the backend would reject this request anyway — say so
+            # without spending a thread (the async mirror of AdmissionError).
+            # The same accounting covers both paths: bridged requests hold an
+            # executor slot, native ones just hold the counter.
             return 503, {
                 "error": f"async front end over capacity: {self._bridged} requests "
-                f"bridged (limit {self.max_workers})"
+                f"in flight (limit {self.max_workers})"
             }
         self._bridged += 1  # single-threaded mutation: we run on the loop
         try:
+            if self.native_async:
+                # Native path: the whole request lifecycle stays on this
+                # loop.  The trace activates *around the await* inside the
+                # async dispatch core — the coroutine runs in our context,
+                # so no positional hand-off is needed.
+                return await dispatch_request_async(
+                    self.plan_service, method, path, body, trace_id
+                )
             # The trace rides the bridge as a positional argument: the
             # executor thread has no ambient trace context of its own.
             return await loop.run_in_executor(

@@ -65,6 +65,7 @@ __all__ = [
     "PayloadTooLargeError",
     "PlanServer",
     "dispatch_request",
+    "dispatch_request_async",
     "response_from_dict",
     "response_to_dict",
     "serve",
@@ -275,6 +276,36 @@ def _dispatch_get(
     return 404, {"error": f"unknown path {path!r}"}
 
 
+def _parse_plan(document: dict[str, Any]):
+    """Extract ``(problem, budget)`` from a ``POST /plan`` document."""
+    if "problem" in document:
+        problem_document = document["problem"]
+        budget = _validated_budget(document)
+    else:
+        problem_document = document
+        budget = None
+    return problem_from_dict(problem_document), budget
+
+
+def _parse_batch(document: dict[str, Any]):
+    """Extract ``(problems, budget)`` from a ``POST /plan/batch`` document."""
+    problem_documents = document["problems"]
+    if not isinstance(problem_documents, list) or not problem_documents:
+        raise InvalidProblemError("'problems' must be a non-empty list")
+    budget = _validated_budget(document)
+    return [problem_from_dict(entry) for entry in problem_documents], budget
+
+
+def _backend_error_status(error: Exception) -> tuple[int, dict[str, Any]]:
+    """Map a backend exception to the shared HTTP status contract."""
+    if isinstance(error, AdmissionError):
+        return 503, {"error": str(error)}
+    if isinstance(error, ReproError):
+        return 500, {"error": str(error)}
+    # A handler must answer, not leak: anything unexpected is a plain 500.
+    return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+
+
 def _dispatch_post(
     plan_service: "PlanBackend", path: str, body: bytes
 ) -> tuple[int, dict[str, Any]]:
@@ -283,51 +314,118 @@ def _dispatch_post(
     except ValueError as error:
         return 400, {"error": str(error)}
     if path == "/plan/batch":
-        return _dispatch_batch(plan_service, document)
+        try:
+            problems, budget = _parse_batch(document)
+        except (KeyError, TypeError, ValueError, InvalidProblemError) as error:
+            return 400, {"error": f"malformed batch request: {error}"}
+        try:
+            responses = plan_service.optimize_batch(problems, budget_seconds=budget)
+        except Exception as error:  # noqa: BLE001 - mapped, never leaked
+            return _backend_error_status(error)
+        return 200, {"responses": [response_to_dict(response) for response in responses]}
     if path != "/plan":
         return 404, {"error": f"unknown path {path!r}"}
     try:
-        if "problem" in document:
-            problem_document = document["problem"]
-            budget = _validated_budget(document)
-        else:
-            problem_document = document
-            budget = None
-        problem = problem_from_dict(problem_document)
+        problem, budget = _parse_plan(document)
     except (TypeError, ValueError, InvalidProblemError) as error:
         return 400, {"error": str(error)}
     try:
         response = plan_service.submit(problem, budget_seconds=budget)
-    except AdmissionError as error:
-        return 503, {"error": str(error)}
-    except ReproError as error:
-        return 500, {"error": str(error)}
-    except Exception as error:  # noqa: BLE001 - a handler must answer, not leak
-        return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+    except Exception as error:  # noqa: BLE001 - mapped, never leaked
+        return _backend_error_status(error)
     return 200, response_to_dict(response)
 
 
-def _dispatch_batch(
-    plan_service: "PlanBackend", document: dict[str, Any]
+# -- the awaitable request core (native async shard path) -------------------
+
+
+async def dispatch_request_async(
+    plan_service: "PlanBackend",
+    method: str,
+    path: str,
+    body: bytes = b"",
+    trace_id: str | None = None,
+) -> tuple[int, Union[dict[str, Any], str]]:
+    """The awaitable mirror of :func:`dispatch_request` for POST routes.
+
+    Shares every parse helper and the error-status mapping with the blocking
+    core — identical 400/404/503/500 answers by construction — but answers
+    through the backend's native ``submit_async`` / ``optimize_batch_async``
+    surface (a :class:`~repro.sharding.router.ShardRouter` over process
+    shards), so the whole request lifecycle stays on the event loop: no
+    executor bridge, no per-request thread.  The trace activation wraps the
+    ``await`` directly — the coroutine runs in the caller's context, so spans
+    opened anywhere down the awaitable path (router fan-out, shard
+    re-entry) stitch into the same tree the threaded path produces.
+    """
+    observability = getattr(plan_service, "obs", None)
+    started = time.perf_counter()
+    status, payload = await _dispatch_async(
+        plan_service, observability, method, path, body, trace_id
+    )
+    if observability is not None:
+        obs_method = method if method in ("GET", "POST") else "other"
+        observability.observe_http(
+            _route_label(path), obs_method, status, time.perf_counter() - started
+        )
+    return status, payload
+
+
+async def _dispatch_async(
+    plan_service: "PlanBackend",
+    observability: "Observability | None",
+    method: str,
+    path: str,
+    body: bytes,
+    trace_id: str | None,
+) -> tuple[int, Union[dict[str, Any], str]]:
+    if method != "POST":
+        # GETs (/stats crosses the blocking shard surface) stay on the
+        # caller's auxiliary bridge lane; only plan traffic is awaitable.
+        return 501, {"error": f"unsupported method {method!r}"}
+    traced = observability is not None and (observability.enabled or trace_id is not None)
+    if not traced:
+        return await _dispatch_post_async(plan_service, path, body)
+    with activate_trace(trace_id) as active:
+        with trace_span("http.request", method=method, route=_route_label(path)) as root:
+            status, payload = await _dispatch_post_async(plan_service, path, body)
+            root.annotate(status=status)
+    observability.record_trace(active)
+    if isinstance(payload, dict):
+        payload = {**payload, "trace_id": active.trace_id}
+    return status, payload
+
+
+async def _dispatch_post_async(
+    plan_service: "PlanBackend", path: str, body: bytes
 ) -> tuple[int, dict[str, Any]]:
-    """Handle a parsed ``POST /plan/batch`` document."""
     try:
-        problem_documents = document["problems"]
-        if not isinstance(problem_documents, list) or not problem_documents:
-            raise InvalidProblemError("'problems' must be a non-empty list")
-        budget = _validated_budget(document)
-        problems = [problem_from_dict(entry) for entry in problem_documents]
-    except (KeyError, TypeError, ValueError, InvalidProblemError) as error:
-        return 400, {"error": f"malformed batch request: {error}"}
+        document = _parse_document(body)
+    except ValueError as error:
+        return 400, {"error": str(error)}
+    if path == "/plan/batch":
+        try:
+            problems, budget = _parse_batch(document)
+        except (KeyError, TypeError, ValueError, InvalidProblemError) as error:
+            return 400, {"error": f"malformed batch request: {error}"}
+        try:
+            responses = await plan_service.optimize_batch_async(
+                problems, budget_seconds=budget
+            )
+        except Exception as error:  # noqa: BLE001 - mapped, never leaked
+            return _backend_error_status(error)
+        return 200, {"responses": [response_to_dict(response) for response in responses]}
+    if path != "/plan":
+        return 404, {"error": f"unknown path {path!r}"}
     try:
-        responses = plan_service.optimize_batch(problems, budget_seconds=budget)
-    except AdmissionError as error:
-        return 503, {"error": str(error)}
-    except ReproError as error:
-        return 500, {"error": str(error)}
-    except Exception as error:  # noqa: BLE001 - a handler must answer, not leak
-        return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
-    return 200, {"responses": [response_to_dict(response) for response in responses]}
+        problem, budget = _parse_plan(document)
+    except (TypeError, ValueError, InvalidProblemError) as error:
+        return 400, {"error": str(error)}
+    try:
+        response = await plan_service.submit_async(problem, budget_seconds=budget)
+    except Exception as error:  # noqa: BLE001 - mapped, never leaked
+        return _backend_error_status(error)
+    return 200, response_to_dict(response)
 
 
 class _PlanRequestHandler(BaseHTTPRequestHandler):

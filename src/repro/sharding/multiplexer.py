@@ -21,13 +21,22 @@ for liveness probing, ``on_death`` to fail its waiters) and unregisters on
 close.  Liveness is swept at the poll cadence, but only for ports with no
 answer bytes pending, so buffered answers of a crashing shard are still
 delivered before its waiters are failed — the same ordering the per-shard
-reader threads guaranteed.
+reader threads guaranteed.  The sweep timer only runs while at least one
+shard is registered: an idle multiplexer parks in the selector without a
+timeout and wakes on the self-pipe, costing zero scheduled wake-ups.
+
+The shard-side completion callbacks may be *loop-aware*
+(:class:`repro.sharding.process.ProcessShard` registers waiters that resolve
+``asyncio`` futures via ``loop.call_soon_threadsafe``); the multiplexer
+itself stays agnostic — it calls ``on_message`` on its own thread and the
+waiter decides whether to signal a blocking event or an event-loop future.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import queue
 import threading
 import time
@@ -36,7 +45,31 @@ from typing import Callable
 __all__ = ["ResponseMultiplexer", "default_multiplexer"]
 
 _POLL_SECONDS = 0.25
-"""Wait timeout: the cadence of the dead-shard liveness sweep."""
+"""Default wait timeout: the cadence of the dead-shard liveness sweep.
+Overridable per instance (``poll_seconds=``) and, for the process-wide
+default multiplexer, via the ``REPRO_MUX_POLL_SECONDS`` environment variable
+— tests of the death sweep set it low instead of sleeping 250 ms per
+assertion."""
+
+_POLL_ENV_VAR = "REPRO_MUX_POLL_SECONDS"
+
+
+def _default_poll_seconds() -> float:
+    """The default multiplexer's sweep cadence (env-overridable, validated)."""
+    raw = os.environ.get(_POLL_ENV_VAR, "").strip()
+    if not raw:
+        return _POLL_SECONDS
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_POLL_ENV_VAR} must be a positive number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(
+            f"{_POLL_ENV_VAR} must be a positive number of seconds, got {raw!r}"
+        )
+    return value
 
 
 class _Port:
@@ -178,7 +211,11 @@ class ResponseMultiplexer:
         with self._lock:
             ports = list(self._ports)
         waitables = [port.reader for port in ports] + [self._wake_recv]
-        ready = multiprocessing.connection.wait(waitables, timeout=self._poll_seconds)
+        # The poll timeout exists only to drive the dead-shard liveness
+        # sweep; with no shard registered there is nothing to sweep, so the
+        # idle loop parks without a timeout and wakes on the self-pipe.
+        timeout = self._poll_seconds if ports else None
+        ready = multiprocessing.connection.wait(waitables, timeout=timeout)
         if self._stopped.is_set():
             return last_sweep
         ready_set = set(ready)
@@ -251,5 +288,5 @@ def default_multiplexer() -> ResponseMultiplexer:
     global _default
     with _default_lock:
         if _default is None:
-            _default = ResponseMultiplexer()
+            _default = ResponseMultiplexer(poll_seconds=_default_poll_seconds())
         return _default

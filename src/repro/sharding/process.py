@@ -144,7 +144,16 @@ def _shard_service_main(requests, responses, config: PlanServiceConfig, shard_id
 
 
 class _Waiter:
-    """One parent-side caller blocked on a shard answer."""
+    """One parent-side caller blocked on a shard answer.
+
+    The waiter protocol is two methods: :meth:`complete` is invoked exactly
+    once — by the multiplexer's dispatch, by the death sweep, or by
+    :meth:`ProcessShard.close` — with the answer triple, and :meth:`wait`
+    blocks the calling thread until then.  :class:`_AsyncWaiter` implements
+    the same ``complete`` contract against an event-loop future, which is
+    what lets the multiplexer resolve asyncio callers without knowing about
+    event loops.
+    """
 
     __slots__ = ("done", "ok", "payload", "spans")
 
@@ -153,6 +162,43 @@ class _Waiter:
         self.ok = False
         self.payload: object = None
         self.spans: list = []
+
+    def complete(self, ok: bool, payload: object, spans: list) -> None:
+        self.ok = ok
+        self.payload = payload
+        self.spans = spans
+        self.done.set()
+
+    def wait(self) -> tuple[bool, object, list]:
+        self.done.wait()
+        return self.ok, self.payload, self.spans
+
+
+class _AsyncWaiter:
+    """A loop-aware waiter: completion resolves an :mod:`asyncio` future.
+
+    Created on the event loop (:meth:`ProcessShard._call_async`); completed
+    from the multiplexer thread (answer or death sweep) or whatever thread
+    runs :meth:`ProcessShard.close` — always via ``call_soon_threadsafe``,
+    so the future's result lands on its own loop without a bridge thread.
+    A future already cancelled (deadline) or resolved is left untouched.
+    """
+
+    __slots__ = ("loop", "future")
+
+    def __init__(self, loop, future) -> None:
+        self.loop = loop
+        self.future = future
+
+    def complete(self, ok: bool, payload: object, spans: list) -> None:
+        try:
+            self.loop.call_soon_threadsafe(self._resolve, ok, payload, spans)
+        except RuntimeError:  # pragma: no cover - the loop closed mid-flight
+            pass
+
+    def _resolve(self, ok: bool, payload: object, spans: list) -> None:
+        if not self.future.done():
+            self.future.set_result((ok, payload, spans))
 
 
 class ProcessShard:
@@ -218,6 +264,34 @@ class ProcessShard:
         documents = self._call(("batch", payloads, budget_seconds))
         return [response_from_dict(document) for document in documents]
 
+    async def submit_async(
+        self,
+        problem: OrderingProblem,
+        budget_seconds: float | None = None,
+        fingerprint: object | None = None,
+    ) -> PlanResponse:
+        """Awaitable :meth:`submit`: the answer resolves on the event loop.
+
+        No bridge thread is involved anywhere on the path — the request goes
+        onto the shard's queue from this coroutine, and the multiplexer's
+        dispatch completes the future via ``call_soon_threadsafe``.
+        """
+        document = await self._call_async(("submit", problem_to_wire(problem), budget_seconds))
+        return response_from_dict(document)
+
+    async def optimize_batch_async(
+        self,
+        problems: Sequence[OrderingProblem],
+        budget_seconds: float | None = None,
+        fingerprints: Sequence[object] | None = None,
+    ) -> list[PlanResponse]:
+        """Awaitable :meth:`optimize_batch` (same wire path as :meth:`submit_async`)."""
+        if not problems:
+            return []
+        payloads = [problem_to_wire(problem) for problem in problems]
+        documents = await self._call_async(("batch", payloads, budget_seconds))
+        return [response_from_dict(document) for document in documents]
+
     def stats(self) -> dict[str, object]:
         return self._call(("stats",))
 
@@ -246,28 +320,58 @@ class ProcessShard:
 
     # -- internals ---------------------------------------------------------
 
-    def _call(self, operation: tuple):
-        """Send one operation to the shard and block for its answer."""
+    def _send(self, operation: tuple, waiter) -> int:
+        """Register ``waiter`` and enqueue one operation; returns its id."""
         if self._closed.is_set():
             raise ShardingError(f"shard {self.shard_id!r} has been closed")
-        waiter = _Waiter()
         with self._lock:
             request_id = self._next_request_id
             self._next_request_id += 1
             self._waiters[request_id] = waiter
         kind, *rest = operation
         # The trace rides as the operation's last element; the child re-enters
-        # it and ships its spans back on the waiter.
+        # it and ships its spans back on the waiter.  On the async path the
+        # coroutine runs inside the caller's activation (contextvars flow into
+        # tasks), so the same read works for both.
         self._requests.put((kind, request_id, *rest, current_trace()))
-        waiter.done.wait()
-        if waiter.spans:
-            emit_spans(waiter.spans)
-        if waiter.ok:
-            return waiter.payload
-        error_type, message = waiter.payload  # type: ignore[misc]
+        return request_id
+
+    def _result(self, ok: bool, payload: object, spans: list):
+        """Fold shipped spans back and unwrap one answer (typed re-raise)."""
+        if spans:
+            emit_spans(spans)
+        if ok:
+            return payload
+        error_type, message = payload  # type: ignore[misc]
         raise _ERROR_TYPES.get(error_type, ShardingError)(
             f"shard {self.shard_id!r}: {message}"
         )
+
+    def _call(self, operation: tuple):
+        """Send one operation to the shard and block for its answer."""
+        waiter = _Waiter()
+        self._send(operation, waiter)
+        return self._result(*waiter.wait())
+
+    async def _call_async(self, operation: tuple):
+        """Send one operation and await its answer as an event-loop future."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        waiter = _AsyncWaiter(loop, future)
+        request_id = self._send(operation, waiter)
+        try:
+            ok, payload, spans = await future
+        except asyncio.CancelledError:
+            # A cancelled caller (deadline, connection teardown) must not
+            # leave its waiter registered: the shard's late answer would be
+            # routed to a dead future.  complete() on the popped waiter is a
+            # no-op because the future is already cancelled.
+            with self._lock:
+                self._waiters.pop(request_id, None)
+            raise
+        return self._result(ok, payload, spans)
 
     def _dispatch(self, item: tuple) -> None:
         """Multiplexer callback: route one shard answer to its waiter."""
@@ -276,11 +380,7 @@ class ProcessShard:
             waiter = self._waiters.pop(request_id, None)
         if waiter is None:
             return
-        waiter.ok = ok
-        waiter.payload = payload
-        if extra:
-            waiter.spans = extra[0]
-        waiter.done.set()
+        waiter.complete(ok, payload, extra[0] if extra else [])
 
     def _on_death(self) -> None:
         """Multiplexer callback: the shard process died with nothing buffered.
@@ -295,6 +395,4 @@ class ProcessShard:
         with self._lock:
             waiters, self._waiters = dict(self._waiters), {}
         for waiter in waiters.values():
-            waiter.ok = False
-            waiter.payload = ("ShardingError", message)
-            waiter.done.set()
+            waiter.complete(False, ("ShardingError", message), [])

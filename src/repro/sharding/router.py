@@ -24,6 +24,7 @@ end and the CLI bind to either interchangeably, while behind it
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import json
 import threading
@@ -314,6 +315,138 @@ class ShardRouter:
             except BaseException as error:  # noqa: BLE001 - re-raised below
                 if first_error is None:
                     first_error = error
+                continue
+            for index, response in zip(indices, shard_responses):
+                responses[index] = response
+        if first_error is not None:
+            raise first_error
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
+
+    # -- native async surface (process shards) -----------------------------
+
+    @property
+    def supports_async(self) -> bool:
+        """Whether the native awaitable path exists: every process shard
+        completes answers as event-loop futures through the multiplexer, so
+        ``submit_async`` / ``optimize_batch_async`` never touch a bridge
+        thread.  In-proc shards run the optimization on the caller's thread
+        and have nothing to await — they stay on the blocking surface."""
+        return self.config.backend == "processes"
+
+    def _async_shard(self, shard_id: str, shard):
+        if not hasattr(shard, "submit_async"):
+            raise ShardingError(
+                f"shard {shard_id!r} ({self.config.backend} backend) has no "
+                "async submit path; use the blocking surface or process shards"
+            )
+        return shard
+
+    async def _awaited(self, awaitable, timeout_seconds: float | None):
+        """Run ``awaitable`` under the request deadline (3.10-compatible).
+
+        A deadline hit cancels the shard call — which deregisters its waiter,
+        so a late answer is dropped instead of resolving a dead future — and
+        surfaces as a typed :class:`ShardingError`.
+        """
+        if timeout_seconds is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, timeout_seconds)
+        except (TimeoutError, asyncio.TimeoutError):
+            raise ShardingError(
+                f"shard answer deadline of {timeout_seconds} s exceeded"
+            ) from None
+
+    async def submit_async(
+        self,
+        problem: OrderingProblem,
+        budget_seconds: float | None = None,
+        timeout_seconds: float | None = None,
+    ) -> PlanResponse:
+        """Awaitable :meth:`submit`: same routing, zero bridge threads.
+
+        The coroutine runs inside the caller's trace activation (contextvars
+        flow into tasks), so the ``router.submit`` span nests under the front
+        end's ``http.request`` span exactly like the blocking path.
+        """
+        if self._closed.is_set():
+            raise ShardingError("the shard router has been closed")
+        with trace_span("router.submit") as span:
+            fingerprint = fingerprint_problem(
+                problem, self.config.service_config.fingerprint_precision
+            )
+            with self._lock:
+                shard_id = self._ring.node_for(fingerprint.key)
+                shard = self._shards[shard_id]
+            span.annotate(shard=shard_id)
+            self._routed.inc(shard=shard_id)
+            shard = self._async_shard(shard_id, shard)
+            return await self._awaited(
+                shard.submit_async(
+                    problem, budget_seconds=budget_seconds, fingerprint=fingerprint
+                ),
+                timeout_seconds,
+            )
+
+    async def optimize_batch_async(
+        self,
+        problems: Sequence[OrderingProblem],
+        budget_seconds: float | None = None,
+        timeout_seconds: float | None = None,
+    ) -> list[PlanResponse]:
+        """Awaitable :meth:`optimize_batch`: per-shard fan-out via
+        :func:`asyncio.gather` on the event loop (no fan-out thread pool),
+        re-merged in request order with the same first-error semantics as the
+        blocking path (errors compared in sorted shard order)."""
+        if self._closed.is_set():
+            raise ShardingError("the shard router has been closed")
+        if not problems:
+            return []
+        precision = self.config.service_config.fingerprint_precision
+        fingerprints = [fingerprint_problem(problem, precision) for problem in problems]
+        groups: dict[str, list[int]] = {}
+        with self._lock:
+            for index, fingerprint in enumerate(fingerprints):
+                groups.setdefault(self._ring.node_for(fingerprint.key), []).append(index)
+            shards = {
+                shard_id: self._async_shard(shard_id, self._shards[shard_id])
+                for shard_id in groups
+            }
+
+        async def fan_out(shard, shard_problems, shard_fingerprints, shard_id):
+            # Each gathered sub-call is its own task with its own copy of the
+            # caller's context, so the fan-out span nests under the ambient
+            # activation without the explicit capture() the thread pool needs.
+            with trace_span("router.fanout", shard=shard_id, size=len(shard_problems)):
+                return await shard.optimize_batch_async(
+                    shard_problems, budget_seconds, shard_fingerprints
+                )
+
+        for shard_id, indices in groups.items():
+            self._routed.inc(len(indices), shard=shard_id)
+        ordered = sorted(groups.items())
+        results = await self._awaited(
+            asyncio.gather(
+                *(
+                    fan_out(
+                        shards[shard_id],
+                        [problems[index] for index in indices],
+                        [fingerprints[index] for index in indices],
+                        shard_id,
+                    )
+                    for shard_id, indices in ordered
+                ),
+                return_exceptions=True,
+            ),
+            timeout_seconds,
+        )
+        responses: list[PlanResponse | None] = [None] * len(problems)
+        first_error: BaseException | None = None
+        for (shard_id, indices), shard_responses in zip(ordered, results):
+            if isinstance(shard_responses, BaseException):
+                if first_error is None:
+                    first_error = shard_responses
                 continue
             for index, response in zip(indices, shard_responses):
                 responses[index] = response

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -104,3 +105,75 @@ class TestDeathAndShutdown:
                 break
             time.sleep(0.05)
         assert not any(t.name == "test-mux-2" for t in threading.enumerate())
+
+
+class TestPollConfiguration:
+    """The sweep cadence is configurable, and an idle loop schedules no timer."""
+
+    def test_idle_selector_parks_without_timeout(self, monkeypatch):
+        """With zero registered ports the selector waits with ``timeout=None``."""
+        import multiprocessing.connection as mp_connection
+
+        recorded: list[float | None] = []
+        real_wait = mp_connection.wait
+
+        def recording_wait(waitables, timeout=None):
+            if threading.current_thread().name == "test-mux-idle":
+                recorded.append(timeout)
+            # Clamp so the loop keeps cycling (and recording) during the test.
+            clamped = 0.01 if timeout is None else min(timeout, 0.01)
+            return real_wait(waitables, timeout=clamped)
+
+        monkeypatch.setattr(mp_connection, "wait", recording_wait)
+        mux = ResponseMultiplexer(name="test-mux-idle", poll_seconds=0.05)
+        response_queue = multiprocessing.Queue()
+        try:
+            port = mux.register(response_queue, on_message=lambda item: None)
+            time.sleep(0.1)
+            assert 0.05 in recorded  # registered: the sweep cadence drives the timeout
+            mux.unregister(port)
+            time.sleep(0.05)  # let a racing pass with the stale snapshot drain
+            recorded.clear()
+            time.sleep(0.1)
+            assert recorded, "the idle loop should still cycle (clamped wait)"
+            assert all(timeout is None for timeout in recorded)
+        finally:
+            mux.close()
+            response_queue.close()
+
+    def test_death_sweep_honours_low_poll_cadence(self):
+        """A 20 ms cadence fails dead-shard waiters fast — no 250 ms sleeps."""
+        mux = ResponseMultiplexer(name="test-mux-sweep", poll_seconds=0.02)
+        response_queue = multiprocessing.Queue()
+        died = threading.Event()
+        try:
+            port = mux.register(
+                response_queue,
+                on_message=lambda item: None,
+                alive=lambda: False,
+                on_death=died.set,
+            )
+            assert died.wait(timeout=2.0)
+            mux.unregister(port)
+        finally:
+            mux.close()
+            response_queue.close()
+
+    def test_default_poll_env_override(self, monkeypatch):
+        from repro.sharding.multiplexer import _POLL_SECONDS, _default_poll_seconds
+
+        monkeypatch.setenv("REPRO_MUX_POLL_SECONDS", "0.03")
+        assert _default_poll_seconds() == 0.03
+        monkeypatch.delenv("REPRO_MUX_POLL_SECONDS")
+        assert _default_poll_seconds() == _POLL_SECONDS
+
+    @pytest.mark.parametrize("value", ["zero", "-1", "0", ""])
+    def test_default_poll_env_rejects_non_positive(self, monkeypatch, value):
+        from repro.sharding.multiplexer import _POLL_SECONDS, _default_poll_seconds
+
+        monkeypatch.setenv("REPRO_MUX_POLL_SECONDS", value)
+        if value == "":
+            assert _default_poll_seconds() == _POLL_SECONDS  # unset-equivalent
+        else:
+            with pytest.raises(ValueError, match="positive number"):
+                _default_poll_seconds()
