@@ -1,0 +1,33 @@
+"""``repro.analysis`` — the stack's own static-analysis engine.
+
+A stdlib-only AST lint that encodes the invariants this codebase has
+actually bled for: no blocking calls on the event loop, monotonic clocks
+for durations, lock discipline for annotated shared state, optional-numpy
+hygiene, fork safety, wire-codec parity, seeded randomness, and span
+hygiene.  See ``repro lint --help`` and the README's "Static analysis"
+section; the package passes its own lint.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, UNREVIEWED_REASON
+from repro.analysis.engine import Checker, LintReport, discover_files, run_lint
+from repro.analysis.index import FunctionScopeVisitor, Module, ModuleIndex
+from repro.analysis.model import Finding, Severity
+from repro.analysis.suppress import Suppression, parse_directives, suppressed_rules
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "Finding",
+    "FunctionScopeVisitor",
+    "LintReport",
+    "Module",
+    "ModuleIndex",
+    "Severity",
+    "Suppression",
+    "UNREVIEWED_REASON",
+    "discover_files",
+    "parse_directives",
+    "run_lint",
+    "suppressed_rules",
+]

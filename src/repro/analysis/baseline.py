@@ -1,0 +1,134 @@
+"""The committed baseline: grandfathered findings with written justifications.
+
+A new rule applied to an old codebase surfaces findings that are real but not
+*new*; fixing them all before the rule can land would hold correctness
+tooling hostage to a cleanup.  The baseline is the escape hatch with
+receipts: a committed JSON file listing the findings a rule is allowed to
+keep reporting, each with a one-line ``reason``.  ``repro lint`` subtracts
+baselined findings from the failure set, so only *new* violations break the
+build — while the baseline file itself documents the debt.
+
+Matching deliberately ignores line numbers (see
+:attr:`~repro.analysis.model.Finding.baseline_key`): unrelated edits must not
+resurrect a grandfathered finding.  ``--baseline-update`` rewrites the file
+from the current run, dropping entries that no longer fire and preserving the
+reasons of those that persist; fresh entries get a placeholder reason that a
+reviewer is expected to replace before committing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.model import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "UNREVIEWED_REASON"]
+
+BASELINE_VERSION = 1
+
+UNREVIEWED_REASON = "TODO: justify this grandfathered finding before committing"
+"""Placeholder reason ``--baseline-update`` writes for fresh entries."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and the written reason it is tolerated."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+class Baseline:
+    """The set of grandfathered findings, loaded from / saved to JSON."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+        self._by_key = {entry.key: entry for entry in self.entries}
+
+    # -- queries -----------------------------------------------------------
+
+    def match(self, finding: Finding) -> BaselineEntry | None:
+        """The entry grandfathering ``finding``, or ``None`` if it is new."""
+        return self._by_key.get(finding.baseline_key)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def unjustified(self) -> list[BaselineEntry]:
+        """Entries still carrying the placeholder reason."""
+        return [
+            entry
+            for entry in self.entries
+            if not entry.reason.strip() or entry.reason == UNREVIEWED_REASON
+        ]
+
+    # -- persistence -------------------------------------------------------
+
+    @staticmethod
+    def load(path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return Baseline()
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline file {path}: expected version {BASELINE_VERSION}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                reason=str(raw.get("reason", "")),
+            )
+            for raw in document.get("entries", [])
+        ]
+        return Baseline(entries)
+
+    def save(self, path: Path) -> None:
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "message": entry.message,
+                    "reason": entry.reason,
+                }
+                for entry in sorted(self.entries, key=lambda entry: entry.key)
+            ],
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    @staticmethod
+    def updated_from(findings: Iterable[Finding], previous: "Baseline") -> "Baseline":
+        """A fresh baseline grandfathering exactly ``findings``.
+
+        Reasons of persisting entries are preserved; entries whose finding no
+        longer fires are dropped; new entries get :data:`UNREVIEWED_REASON`.
+        """
+        entries = []
+        seen: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            if finding.baseline_key in seen:
+                continue
+            seen.add(finding.baseline_key)
+            existing = previous.match(finding)
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    reason=existing.reason if existing is not None else UNREVIEWED_REASON,
+                )
+            )
+        return Baseline(entries)

@@ -1,0 +1,36 @@
+"""The rule registry: every checker the ``repro lint`` engine knows.
+
+Each module in this package implements one rule behind the
+:class:`~repro.analysis.engine.Checker` protocol.  :func:`all_checkers`
+is the single registration point — the CLI, the engine's unknown-rule
+validation, and the README rule table all derive from it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.async_blocking import AsyncBlockingChecker
+from repro.analysis.checkers.dead_symbols import DeadSymbolChecker
+from repro.analysis.checkers.fork_safety import ForkSafetyChecker
+from repro.analysis.checkers.import_hygiene import ImportHygieneChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.monotonic_time import MonotonicTimeChecker
+from repro.analysis.checkers.randomness import SeededRandomnessChecker
+from repro.analysis.checkers.span_hygiene import SpanHygieneChecker
+from repro.analysis.checkers.wire_parity import WireParityChecker
+
+__all__ = ["all_checkers"]
+
+
+def all_checkers():
+    """Every registered checker, in rule-id order."""
+    return [
+        AsyncBlockingChecker(),
+        MonotonicTimeChecker(),
+        LockDisciplineChecker(),
+        ImportHygieneChecker(),
+        ForkSafetyChecker(),
+        WireParityChecker(),
+        SeededRandomnessChecker(),
+        SpanHygieneChecker(),
+        DeadSymbolChecker(),
+    ]

@@ -1,0 +1,122 @@
+"""RL001 — no blocking calls on the event loop.
+
+The async front end (:mod:`repro.serving.aserver`) exists so that request
+lifecycles complete as loop futures with zero bridge threads; a single
+blocking call inside an ``async def`` stalls *every* in-flight request, not
+just its own.  The repo's convention is explicit: blocking work rides
+``run_in_executor`` (or the native async shard path), never the loop.
+
+Two detection tiers:
+
+* **resolved calls** — canonical dotted names known to block
+  (``time.sleep``, ``subprocess.run``, ``open``, ...), caught through any
+  import alias;
+* **method heuristics** — attribute calls not rooted in an imported module
+  but whose names are blocking verbs in this codebase (``future.result()``,
+  ``connection.recv()``, ``service.optimize_batch()``).
+
+Code inside a *nested sync def* is exempt (it is defined on the loop but
+runs wherever it is called, typically an executor thread), and so is a call
+that is directly awaited (``await loop.run_in_executor(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.index import FunctionScopeVisitor, Module, ModuleIndex
+from repro.analysis.model import Finding, Severity
+
+__all__ = ["AsyncBlockingChecker"]
+
+BLOCKING_RESOLVED = frozenset(
+    {
+        "time.sleep",
+        "select.select",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "open",
+        "input",
+    }
+)
+
+BLOCKING_METHODS = frozenset(
+    {"result", "acquire", "recv", "recv_bytes", "optimize", "optimize_batch"}
+)
+
+
+class _Visitor(FunctionScopeVisitor):
+    def __init__(self, module: Module) -> None:
+        super().__init__()
+        self.module = module
+        self.findings: list[Finding] = []
+        self.awaited = {
+            id(node.value)
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Await)
+        }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_async() and id(node) not in self.awaited:
+            resolved = self.module.resolve(node.func)
+            if resolved in BLOCKING_RESOLVED:
+                self.findings.append(
+                    Finding(
+                        rule="RL001",
+                        path=self.module.rel,
+                        line=node.lineno,
+                        message=f"blocking call {resolved}() inside an async function",
+                        hint="bridge via loop.run_in_executor or use the async variant",
+                        column=node.col_offset,
+                    )
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BLOCKING_METHODS
+                and not self._rooted_in_import(node.func)
+            ):
+                self.findings.append(
+                    Finding(
+                        rule="RL001",
+                        path=self.module.rel,
+                        line=node.lineno,
+                        message=(
+                            f"potentially blocking method .{node.func.attr}() "
+                            "inside an async function"
+                        ),
+                        hint="await the async variant, or bridge via run_in_executor",
+                        column=node.col_offset,
+                    )
+                )
+        self.generic_visit(node)
+
+    def _rooted_in_import(self, func: ast.Attribute) -> bool:
+        """Whether the call chain starts at an imported module/name.
+
+        ``future.result()`` (a local variable) stays eligible for the method
+        heuristic; ``module.result()`` where ``module`` was imported is a
+        module-level function and only :data:`BLOCKING_RESOLVED` may flag it.
+        """
+        node: ast.AST = func
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        return isinstance(node, ast.Name) and node.id in self.module.aliases
+
+
+class AsyncBlockingChecker:
+    rule = "RL001"
+    name = "no-blocking-in-async"
+    description = "async def bodies must not make blocking calls on the event loop"
+    severity = Severity.ERROR
+    default = True
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterable[Finding]:
+        visitor = _Visitor(module)
+        visitor.visit(module.tree)
+        return visitor.findings

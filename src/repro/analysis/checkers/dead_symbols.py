@@ -1,0 +1,104 @@
+"""RL009 — informational dead-symbol report: unreferenced public helpers.
+
+A growing codebase accretes public helpers whose last caller was deleted
+two refactors ago; they cost review attention and imply API surface nobody
+depends on.  This rule reports module-level public symbols (functions and
+classes not prefixed ``_``, outside ``__init__.py`` re-export modules) that
+have **zero references** anywhere in the linted tree — no ``Name`` load, no
+attribute access, no ``from x import y``, no ``__all__`` listing.
+References inside ``__init__.py`` modules do not count: re-export plumbing
+keeps a symbol importable, not used — a helper alive only through its
+package's ``__init__`` is exactly the orphan this rule exists to surface
+(the sweep that introduced it deleted ``validate_order`` on those grounds).
+
+It is *informational* (never fails a run) and off by default — enable with
+``repro lint --rule RL009``, and lint ``src`` and ``tests`` together so
+test-only usage counts before deleting anything.  Framework entry points are
+exempt (``test_*``/``Test*`` collected by pytest, ``main`` invoked by
+runners), and pytest fixtures count as referenced through the parameter
+names that request them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.index import Module, ModuleIndex
+from repro.analysis.model import Finding, Severity
+
+__all__ = ["DeadSymbolChecker"]
+
+
+class DeadSymbolChecker:
+    rule = "RL009"
+    name = "unused-public-helper"
+    description = "report module-level public symbols with zero references (advisory)"
+    severity = Severity.INFO
+    default = False
+
+    def __init__(self) -> None:
+        self._cache: tuple[int, dict[str, int]] | None = None
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterable[Finding]:
+        if module.rel.endswith("__init__.py"):
+            return
+        references = self._references(index)
+        for stmt in module.tree.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            if (
+                stmt.name.startswith(("test_", "Test"))
+                or stmt.name == "main"
+            ):
+                continue  # framework entry point: discovered, not referenced
+            if references.get(stmt.name, 0) == 0:
+                kind = "class" if isinstance(stmt, ast.ClassDef) else "function"
+                yield Finding(
+                    rule=self.rule,
+                    path=module.rel,
+                    line=stmt.lineno,
+                    message=f"public {kind} {stmt.name!r} has no references in the linted tree",
+                    severity=Severity.INFO,
+                    hint="delete it, mark it private, or lint a wider tree (src tests)",
+                )
+
+    def _references(self, index: ModuleIndex) -> dict[str, int]:
+        """Name → reference count across every linted module (cached per index)."""
+        if self._cache is not None and self._cache[0] == id(index):
+            return self._cache[1]
+        counts: dict[str, int] = {}
+
+        def bump(name: str) -> None:
+            counts[name] = counts.get(name, 0) + 1
+
+        for module in index:
+            if module.rel.endswith("__init__.py"):
+                continue  # re-export plumbing is not usage
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Name):
+                    bump(node.id)
+                elif isinstance(node, ast.arg):
+                    bump(node.arg)  # pytest fixtures are requested by parameter name
+                elif isinstance(node, ast.Attribute):
+                    bump(node.attr)
+                elif isinstance(node, ast.ImportFrom):
+                    for alias in node.names:
+                        bump(alias.name)
+                elif isinstance(node, ast.Assign):
+                    exports = any(
+                        isinstance(target, ast.Name) and target.id == "__all__"
+                        for target in node.targets
+                    )
+                    if exports:
+                        for inner in ast.walk(node.value):
+                            if isinstance(inner, ast.Constant) and isinstance(
+                                inner.value, str
+                            ):
+                                bump(inner.value)
+        self._cache = (id(index), counts)
+        return counts

@@ -1,0 +1,97 @@
+"""RL004 — optional-dependency (numpy) import hygiene.
+
+The stack runs dependency-free by design: numpy is an *optional*
+acceleration, resolved once by ``core/vector.py`` behind a guarded
+``try/except ImportError`` and selected through ``resolve_kernel``.  A bare
+``import numpy`` anywhere else turns the optional dependency into a hard one
+the moment that module is imported — exactly the regression the no-numpy CI
+matrix exists to catch, but only at whatever line the matrix happens to
+execute.  This rule catches it at lint time, everywhere.
+
+An import is *guarded* when it sits inside a ``try`` whose handlers catch
+``ImportError`` (or ``ModuleNotFoundError``/``Exception``).  Function-local
+imports on vector-only code paths — reachable only after ``resolve_kernel``
+already proved numpy importable — are legitimate but still flagged, and
+carry inline suppressions saying exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.index import Module, ModuleIndex
+from repro.analysis.model import Finding, Severity
+
+__all__ = ["ImportHygieneChecker"]
+
+_GUARD_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception"}
+
+
+def _handler_guards(handler: ast.ExceptHandler) -> bool:
+    names: list[ast.expr] = []
+    if handler.type is None:
+        return True  # bare except catches ImportError too
+    if isinstance(handler.type, ast.Tuple):
+        names.extend(handler.type.elts)
+    else:
+        names.append(handler.type)
+    return any(
+        isinstance(name, ast.Name) and name.id in _GUARD_EXCEPTIONS
+        for name in names
+    )
+
+
+def _imports_numpy(node: ast.Import | ast.ImportFrom) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "numpy" or alias.name.startswith("numpy.")
+            for alias in node.names
+        )
+    module = node.module or ""
+    return module == "numpy" or module.startswith("numpy.")
+
+
+class ImportHygieneChecker:
+    rule = "RL004"
+    name = "optional-import-hygiene"
+    description = "numpy imports must sit inside a try/except ImportError guard"
+    severity = Severity.ERROR
+    default = True
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        self._walk(module, module.tree, False, findings)
+        return findings
+
+    def _walk(
+        self, module: Module, node: ast.AST, guarded: bool, findings: list[Finding]
+    ) -> None:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            if _imports_numpy(node) and not guarded:
+                findings.append(
+                    Finding(
+                        rule=self.rule,
+                        path=module.rel,
+                        line=node.lineno,
+                        message="unguarded numpy import outside a try/except ImportError",
+                        hint=(
+                            "route through repro.core.vector's guarded import, or "
+                            "suppress with a reason if the path is vector-only"
+                        ),
+                        column=node.col_offset,
+                    )
+                )
+            return
+        if isinstance(node, ast.Try):
+            guards = any(_handler_guards(handler) for handler in node.handlers)
+            for child in node.body:
+                self._walk(module, child, guarded or guards, findings)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self._walk(module, child, guarded, findings)
+            for child in node.orelse + node.finalbody:
+                self._walk(module, child, guarded, findings)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(module, child, guarded, findings)

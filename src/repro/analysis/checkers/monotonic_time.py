@@ -1,0 +1,49 @@
+"""RL002 — durations and deadlines use the monotonic clock.
+
+``time.time()`` is wall-clock: NTP slews and steps move it backwards and
+forwards, so every elapsed-time subtraction and every deadline comparison
+built on it is silently wrong on the machines where it matters.  The stack's
+budget enforcement (optimizer budgets, cache TTLs, admission deadlines,
+span durations) must use ``time.monotonic()`` / ``time.perf_counter()``.
+
+The rule flags **every** ``time.time()`` call, through any alias.  The rare
+legitimate wall-clock use — an epoch timestamp that leaves the process, like
+a span's start time in the trace wire format — carries an inline
+suppression whose reason documents exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.index import Module, ModuleIndex
+from repro.analysis.model import Finding, Severity
+
+__all__ = ["MonotonicTimeChecker"]
+
+
+class MonotonicTimeChecker:
+    rule = "RL002"
+    name = "monotonic-time"
+    description = "time.time() is banned for durations/deadlines; use time.monotonic()"
+    severity = Severity.ERROR
+    default = True
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and module.resolve(node.func) == "time.time"
+            ):
+                yield Finding(
+                    rule=self.rule,
+                    path=module.rel,
+                    line=node.lineno,
+                    message="time.time() used; wall-clock is wrong for durations/deadlines",
+                    hint=(
+                        "use time.monotonic() or time.perf_counter(); if this is a "
+                        "deliberate epoch timestamp, suppress with a reason"
+                    ),
+                    column=node.col_offset,
+                )

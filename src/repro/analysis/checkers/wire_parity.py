@@ -1,0 +1,173 @@
+"""RL006 — wire-codec parity: encoders and decoders agree on keys.
+
+Every wire format in the stack is a hand-written pair — ``problem_to_wire``
+/ ``problem_from_wire``, ``response_to_dict`` / ``response_from_dict``,
+``Span.to_dict`` / ``span_from_dict``, the store's ``_entry_to_document`` /
+``_entry_from_document``.  The failure mode is always the same: a field
+added to one side and not the other, surfacing as a ``KeyError`` in a
+*different process* (a shard, a revalidation worker) long after the edit.
+
+This rule pairs codecs by name within a module and diffs the key sets it
+can extract statically:
+
+* **emitted** — string keys of dict literals (and ``dict(k=...)`` keywords,
+  ``doc["k"] = ...`` stores) anywhere in the encoder body;
+* **read** — ``doc["k"]`` subscripts (required), ``.get("k")`` calls and
+  ``"k" in doc`` tests (optional) anywhere in the decoder body.
+
+A key the encoder emits that the decoder never reads, or a key the decoder
+*requires* that the encoder never emits, is a finding.  Codecs whose keys
+cannot be extracted (tuple wire formats, delegating encoders) are skipped —
+the rule only speaks when it can see both sides.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.index import Module, ModuleIndex
+from repro.analysis.model import Finding, Severity
+
+__all__ = ["WireParityChecker"]
+
+_SUFFIXES = ("wire", "dict", "document")
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _snake(name: str) -> str:
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+def _emitted_keys(func: _FuncDef) -> set[str]:
+    keys: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            keys.update(
+                key.value
+                for key in node.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "dict":
+                keys.update(kw.arg for kw in node.keywords if kw.arg is not None)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+    return keys
+
+
+def _read_keys(func: _FuncDef) -> tuple[set[str], set[str]]:
+    """``(required, optional)`` keys the decoder touches."""
+    required: set[str] = set()
+    optional: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            required.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            optional.add(node.args[0].value)
+        elif isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+        ):
+            if isinstance(node.left, ast.Constant) and isinstance(node.left.value, str):
+                optional.add(node.left.value)
+    return required, optional
+
+
+def _codec_pairs(tree: ast.Module) -> list[tuple[_FuncDef, _FuncDef]]:
+    """(encoder, decoder) pairs found by name in one module."""
+    functions: dict[str, _FuncDef] = {}
+    classes: list[ast.ClassDef] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            classes.append(node)
+
+    pairs: list[tuple[_FuncDef, _FuncDef]] = []
+    for name, encoder in functions.items():
+        for suffix in _SUFFIXES:
+            marker = f"_to_{suffix}"
+            if name.endswith(marker):
+                partner = name[: -len(marker)] + f"_from_{suffix}"
+                if partner in functions:
+                    pairs.append((encoder, functions[partner]))
+
+    for cls in classes:
+        methods = {
+            node.name: node
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for suffix in _SUFFIXES:
+            encoder = methods.get(f"to_{suffix}")
+            if encoder is None:
+                continue
+            decoder = methods.get(f"from_{suffix}")
+            if decoder is None:
+                decoder = functions.get(f"{_snake(cls.name)}_from_{suffix}")
+            if decoder is not None:
+                pairs.append((encoder, decoder))
+    return pairs
+
+
+class WireParityChecker:
+    rule = "RL006"
+    name = "wire-codec-parity"
+    description = "paired *_to_wire/*_from_wire codecs must agree on their keys"
+    severity = Severity.ERROR
+    default = True
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for encoder, decoder in _codec_pairs(module.tree):
+            emitted = _emitted_keys(encoder)
+            required, optional = _read_keys(decoder)
+            if not emitted or not (required | optional):
+                continue  # tuple wire format or delegating codec: nothing to diff
+            for key in sorted(emitted - required - optional):
+                findings.append(
+                    Finding(
+                        rule=self.rule,
+                        path=module.rel,
+                        line=encoder.lineno,
+                        message=(
+                            f"{encoder.name} emits key {key!r} that "
+                            f"{decoder.name} never reads"
+                        ),
+                        hint="read the key in the decoder, or stop emitting it",
+                    )
+                )
+            for key in sorted(required - emitted):
+                findings.append(
+                    Finding(
+                        rule=self.rule,
+                        path=module.rel,
+                        line=decoder.lineno,
+                        message=(
+                            f"{decoder.name} requires key {key!r} that "
+                            f"{encoder.name} never emits"
+                        ),
+                        hint="emit the key in the encoder, or .get() it with a default",
+                    )
+                )
+        return findings

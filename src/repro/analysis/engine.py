@@ -1,0 +1,203 @@
+"""The lint engine: run every checker over a parsed-once index, report.
+
+The engine owns everything rule-agnostic: file discovery, the
+:class:`~repro.analysis.index.ModuleIndex` build, applying inline
+suppressions (:mod:`repro.analysis.suppress`), subtracting the committed
+baseline (:mod:`repro.analysis.baseline`), and rendering text/JSON reports.
+Checkers are plugins behind the :class:`Checker` protocol — a rule id, a
+severity, and a ``check(module, index)`` generator — registered in
+:mod:`repro.analysis.checkers`.
+
+The exit-code contract (what CI keys on): a run **fails** iff it produced at
+least one finding that is neither suppressed nor baselined and whose severity
+fails (:attr:`~repro.analysis.model.Severity.fails` — ``info`` rules never
+fail a run).  Suppressed and baselined findings are counted, not printed, so
+a clean run's output stays one summary line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.index import Module, ModuleIndex
+from repro.analysis.model import Finding, Severity
+from repro.analysis.suppress import ENGINE_RULE, suppressed_rules
+
+__all__ = ["Checker", "LintReport", "run_lint", "discover_files"]
+
+
+class Checker(Protocol):
+    """The pluggable rule interface."""
+
+    rule: str
+    """Rule identifier (``"RL001"``)."""
+
+    name: str
+    """Short slug (``"no-blocking-in-async"``)."""
+
+    description: str
+    """One line: the invariant this rule encodes."""
+
+    severity: Severity
+    """Default severity of this rule's findings."""
+
+    default: bool
+    """Whether the rule runs without an explicit ``--rule`` selection."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterable[Finding]:
+        """Yield findings for one module (the index serves cross-file rules)."""
+        ...
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    root: str
+    files: int
+    findings: list[Finding]
+    """Active findings: not suppressed, not baselined; sorted by location."""
+
+    suppressed: int
+    """Findings silenced by inline directives."""
+
+    baselined: list[tuple[Finding, BaselineEntry]]
+    """Findings matched (and silenced) by the committed baseline."""
+
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        """Whether this run should exit non-zero."""
+        return any(finding.severity.fails for finding in self.findings)
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        by_rule = ", ".join(f"{rule}={count}" for rule, count in self.by_rule().items())
+        lines.append(
+            f"repro lint: {len(self.findings)} finding(s)"
+            + (f" [{by_rule}]" if by_rule else "")
+            + f", {self.suppressed} suppressed, {len(self.baselined)} baselined, "
+            f"{self.files} file(s), rules: {', '.join(self.rules_run)}"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        document = {
+            "version": 1,
+            "root": self.root,
+            "files": self.files,
+            "rules": list(self.rules_run),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": self.suppressed,
+            "baselined": [
+                {**finding.to_dict(), "reason": entry.reason}
+                for finding, entry in self.baselined
+            ],
+            "summary": {"by_rule": self.by_rule(), "failed": self.failed},
+        }
+        return json.dumps(document, indent=2)
+
+
+def discover_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into the ``.py`` files to lint."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def run_lint(
+    paths: Sequence[Path],
+    *,
+    root: Path,
+    checkers: Sequence[Checker],
+    rules: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint ``paths`` with ``checkers`` and return the report.
+
+    ``rules`` narrows the run to the named rule ids (and implicitly enables
+    non-default rules like the RL009 dead-symbol report); ``None`` runs every
+    default checker.  Engine findings (parse failures, malformed or
+    unknown-rule suppression directives) are always reported — broken lint
+    metadata must never silence itself.
+    """
+    known_rules = {checker.rule for checker in checkers} | {ENGINE_RULE}
+    if rules is not None:
+        unknown = sorted(set(rules) - known_rules)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known_rules))}"
+            )
+        selected = [checker for checker in checkers if checker.rule in set(rules)]
+    else:
+        selected = [checker for checker in checkers if checker.default]
+
+    index = ModuleIndex.build(discover_files(paths), root)
+    collected: list[Finding] = list(index.errors)
+    for module in index:
+        for checker in selected:
+            collected.extend(checker.check(module, index))
+        # Directive hygiene: a suppression naming a rule the engine does not
+        # know is a typo that would silence nothing — report it.
+        for suppression in module.suppressions:
+            for rule in suppression.rules:
+                if rule not in known_rules:
+                    collected.append(
+                        Finding(
+                            rule=ENGINE_RULE,
+                            path=module.rel,
+                            line=suppression.comment_line,
+                            message=f"suppression names unknown rule {rule!r}",
+                            severity=Severity.ERROR,
+                            hint=f"known rules: {', '.join(sorted(known_rules))}",
+                        )
+                    )
+
+    suppression_map = {
+        module.rel: suppressed_rules(module.suppressions) for module in index
+    }
+    baseline = baseline if baseline is not None else Baseline()
+    active: list[Finding] = []
+    suppressed = 0
+    baselined: list[tuple[Finding, BaselineEntry]] = []
+    for finding in collected:
+        silenced = suppression_map.get(finding.path, {}).get(finding.line, set())
+        if finding.rule in silenced and finding.rule != ENGINE_RULE:
+            suppressed += 1
+            continue
+        entry = baseline.match(finding)
+        if entry is not None:
+            baselined.append((finding, entry))
+            continue
+        active.append(finding)
+    active.sort(key=Finding.sort_key)
+    return LintReport(
+        root=str(root),
+        files=len(index),
+        findings=active,
+        suppressed=suppressed,
+        baselined=baselined,
+        rules_run=sorted(checker.rule for checker in selected),
+    )

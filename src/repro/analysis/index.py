@@ -1,0 +1,260 @@
+"""A parsed-once module index: ASTs, comments, imports, name resolution.
+
+Every checker needs the same ground truth — the parse tree of each file, the
+comments (Python's AST drops them), which names are bound to which imported
+modules, and which lines carry code.  The :class:`ModuleIndex` computes all
+of it exactly once per file and hands checkers :class:`Module` records, so a
+lint run over N files with M rules costs N parses, not N×M.
+
+Name resolution is the piece that makes rules robust against aliasing: a
+checker asking "is this call ``time.time()``?" must also catch
+``import time as t; t.time()`` and ``from time import time; time()``.
+:meth:`Module.resolve` folds a ``Name``/``Attribute`` chain into a dotted
+path through the module's import table (collected from *every* import
+statement in the file, including function-local lazy imports), so rule
+specifications are written once, against canonical dotted names.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.suppress import Suppression, parse_directives
+
+__all__ = ["Module", "ModuleIndex", "FunctionScopeVisitor"]
+
+
+def _collect_comments(source: str) -> tuple[dict[int, str], frozenset[int]]:
+    """``({line: comment_text}, lines_with_code)`` via the tokenizer.
+
+    Comment text excludes the leading ``#``.  A tokenization error (the file
+    already failed to parse, or a stray control character) degrades to "no
+    comments" — the caller reports the parse failure separately.
+    """
+    comments: dict[int, str] = {}
+    code_lines: set[int] = set()
+    boring = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.lstrip("#")
+            elif token.type not in boring:
+                for line in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(line)
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return comments, frozenset(code_lines)
+
+
+@dataclass
+class Module:
+    """One indexed source file."""
+
+    path: Path
+    """Absolute path on disk."""
+
+    rel: str
+    """Path relative to the lint root, ``/``-separated (finding coordinates)."""
+
+    dotted: str
+    """Best-effort dotted module name (``repro.obs.trace``), for relative imports."""
+
+    source: str
+    tree: ast.Module
+    comments: dict[int, str]
+    """Line → comment text (without the leading ``#``)."""
+
+    code_lines: frozenset[int]
+    """Lines carrying non-comment source."""
+
+    suppressions: list[Suppression]
+    aliases: dict[str, str] = field(default_factory=dict)
+    """Local binding → dotted import path (``np`` → ``numpy``)."""
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fold a ``Name``/``Attribute`` chain into a dotted path, or ``None``.
+
+        The chain's root ``Name`` goes through the import table; an unimported
+        root resolves to its bare id (so builtins like ``open`` resolve), and
+        anything rooted in a non-name expression (``self.x``, a call result,
+        a subscript) resolves to ``None`` — the checker then falls back to
+        method-name heuristics if it has any.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def comment_in_range(self, first: int, last: int, marker: str) -> str | None:
+        """The first comment between lines ``first``..``last`` containing ``marker``."""
+        for line in range(first, last + 1):
+            text = self.comments.get(line)
+            if text is not None and marker in text:
+                return text
+        return None
+
+
+def _module_dotted_name(rel: str) -> str:
+    """``src/repro/obs/trace.py`` → ``repro.obs.trace`` (best effort)."""
+    parts = rel.split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+def _collect_aliases(tree: ast.Module, dotted: str) -> dict[str, str]:
+    """Every import binding in the file, including function-local ones."""
+    aliases: dict[str, str] = {}
+    package_parts = dotted.split(".")[:-1] if dotted else []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname is not None:
+                    aliases[name.asname] = name.name
+                else:
+                    # ``import a.b`` binds ``a``; resolve(a.b.c) then walks
+                    # the attribute chain back onto the dotted path.
+                    aliases[name.name.split(".")[0]] = name.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package_parts[: len(package_parts) - node.level + 1]
+                base = ".".join(base_parts + ([node.module] if node.module else []))
+            else:
+                base = node.module or ""
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                bound = name.asname if name.asname is not None else name.name
+                aliases[bound] = f"{base}.{name.name}" if base else name.name
+    return aliases
+
+
+class ModuleIndex:
+    """The parsed-once collection of every file under lint."""
+
+    def __init__(self, modules: list[Module], errors: list[Finding]) -> None:
+        self.modules = modules
+        self.errors = errors
+        """Files that failed to parse (reported as ``LINT000`` findings)."""
+
+    @staticmethod
+    def build(files: Iterable[Path], root: Path) -> "ModuleIndex":
+        modules: list[Module] = []
+        errors: list[Finding] = []
+        for path in sorted(files):
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError, ValueError) as error:
+                errors.append(
+                    Finding(
+                        rule="LINT000",
+                        path=rel,
+                        line=getattr(error, "lineno", None) or 1,
+                        message=f"cannot parse: {error}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            comments, code_lines = _collect_comments(source)
+            suppressions, malformed = parse_directives(comments, code_lines, rel)
+            errors.extend(malformed)
+            dotted = _module_dotted_name(rel)
+            modules.append(
+                Module(
+                    path=path,
+                    rel=rel,
+                    dotted=dotted,
+                    source=source,
+                    tree=tree,
+                    comments=comments,
+                    code_lines=code_lines,
+                    suppressions=suppressions,
+                    aliases=_collect_aliases(tree, dotted),
+                )
+            )
+        return ModuleIndex(modules, errors)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+
+class FunctionScopeVisitor(ast.NodeVisitor):
+    """A visitor base that tracks the function-definition stack.
+
+    Checkers that care about *where* a node sits — inside an ``async def``,
+    at module import time, nested in a closure — subclass this and read
+    :attr:`stack` / :meth:`in_async` / :meth:`at_module_level` instead of
+    re-implementing the bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list[ast.AST] = []
+
+    # -- scope queries -----------------------------------------------------
+
+    def in_async(self) -> bool:
+        """Inside an ``async def`` body, with no sync def/lambda in between.
+
+        Code in a nested sync function is *defined* on the loop but runs
+        wherever it is called (typically an executor), so only the innermost
+        function kind decides.
+        """
+        for node in reversed(self.stack):
+            if isinstance(node, ast.AsyncFunctionDef):
+                return True
+            if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+                return False
+        return False
+
+    def at_module_level(self) -> bool:
+        """Outside every function body (class bodies run at import time too)."""
+        return not any(
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            for node in self.stack
+        )
+
+    # -- traversal ---------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self.stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.stack.pop()

@@ -1,0 +1,113 @@
+"""The findings model of the static-analysis engine.
+
+A finding is one violated invariant at one source location: the rule that
+fired, a severity, ``path:line``, a message saying *what* is wrong and a fix
+hint saying *what to do about it*.  Findings are value objects — hashable,
+totally ordered by location — so the engine can diff a run against a
+baseline, deduplicate, and render deterministically.
+
+Severities carry the exit-code policy: ``ERROR`` and ``WARNING`` findings
+fail a lint run, ``INFO`` findings (the advisory rules, e.g. the RL009
+dead-symbol report) never do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(enum.Enum):
+    """How hard a rule's finding fails a lint run."""
+
+    ERROR = "error"
+    """A violated invariant the codebase has bled for; fails the run."""
+
+    WARNING = "warning"
+    """A suspicious pattern worth a human look; fails the run."""
+
+    INFO = "info"
+    """Advisory output (reports, sweeps); never fails the run."""
+
+    @property
+    def fails(self) -> bool:
+        """Whether a finding of this severity makes ``repro lint`` exit non-zero."""
+        return self is not Severity.INFO
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    """Rule identifier, e.g. ``"RL002"`` (or ``"LINT000"`` for engine errors)."""
+
+    path: str
+    """Path of the offending file, relative to the lint root, ``/``-separated."""
+
+    line: int
+    """1-based source line the finding anchors to."""
+
+    message: str
+    """What is wrong, specifically (drives baseline matching — keep stable)."""
+
+    severity: Severity = Severity.ERROR
+    """How hard this finding fails the run."""
+
+    hint: str = ""
+    """What to do about it (fix recipe, or the suppression to justify)."""
+
+    column: int = field(default=0, compare=False)
+    """0-based column offset (display only; excluded from identity)."""
+
+    @property
+    def location(self) -> str:
+        """``path:line`` for text rendering."""
+        return f"{self.path}:{self.line}"
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used to match against baseline entries.
+
+        Deliberately excludes the line number: a baselined finding must not
+        resurface because unrelated edits shifted the file.
+        """
+        return (self.rule, self.path, self.message)
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten for ``--format json`` output."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @staticmethod
+    def from_dict(document: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return Finding(
+            rule=str(document["rule"]),
+            path=str(document["path"]),
+            line=int(document["line"]),
+            message=str(document["message"]),
+            severity=Severity(document.get("severity", "error")),
+            hint=str(document.get("hint", "")),
+            column=int(document.get("column", 0)),
+        )
+
+    def render(self) -> str:
+        """One text-format line: ``path:line: RULE severity: message``."""
+        text = f"{self.location}: {self.rule} {self.severity.value}: {self.message}"
+        if self.hint:
+            text += f"  [{self.hint}]"
+        return text

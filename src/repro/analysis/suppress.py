@@ -1,0 +1,105 @@
+"""Inline suppression directives: ``# repro-lint: disable=RULE — reason``.
+
+A suppression silences specific rules at one location *with a written
+justification* — the reason is mandatory, so every exception to an invariant
+is documented where it lives.  The grammar::
+
+    # repro-lint: disable=RL002 — span starts are wall-clock by design
+    # repro-lint: disable=RL001,RL008 — bridged via the bounded executor
+
+* one or more rule ids, comma-separated, each matching ``[A-Z]+[0-9]+``;
+* a separator (an em dash ``—``, ``--`` or ``:``) followed by a non-empty
+  reason.
+
+A trailing directive suppresses findings on its own line; a directive on a
+comment-only line suppresses findings on the next source line (so long
+statements can carry their justification above them).
+
+Malformed directives — a ``repro-lint:`` comment the grammar rejects — are
+**findings themselves** (rule ``LINT000``), never silent no-ops: a typo'd
+suppression that quietly suppressed nothing would be the worst of both
+worlds.  Unknown rule ids are likewise reported, by the engine, which knows
+the registry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.analysis.model import Finding, Severity
+
+__all__ = ["Suppression", "parse_directives", "suppressed_rules"]
+
+ENGINE_RULE = "LINT000"
+"""Rule id of the engine's own findings (malformed/unknown directives)."""
+
+_MARKER = "repro-lint:"
+_DIRECTIVE_RE = re.compile(
+    r"repro-lint:\s*disable\s*=\s*(?P<rules>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)"
+    r"\s*(?:—|--|:)\s*(?P<reason>\S.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed directive: the rules it silences, where, and why."""
+
+    rules: tuple[str, ...]
+    reason: str
+    comment_line: int
+    """Line the directive comment sits on."""
+
+    effective_line: int
+    """Line whose findings it suppresses (next line for comment-only lines)."""
+
+
+def parse_directives(
+    comments: Mapping[int, str], code_lines: frozenset[int], path: str
+) -> tuple[list[Suppression], list[Finding]]:
+    """Extract suppression directives from a file's comments.
+
+    ``comments`` maps line number to comment text (without the leading
+    ``#``); ``code_lines`` is the set of lines carrying non-comment source,
+    used to distinguish trailing directives from comment-only ones.  Returns
+    the parsed suppressions plus ``LINT000`` findings for every comment that
+    names the marker but fails the grammar.
+    """
+    suppressions: list[Suppression] = []
+    malformed: list[Finding] = []
+    for line, text in sorted(comments.items()):
+        if _MARKER not in text:
+            continue
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            malformed.append(
+                Finding(
+                    rule=ENGINE_RULE,
+                    path=path,
+                    line=line,
+                    message=f"malformed repro-lint directive: {text.strip()!r}",
+                    severity=Severity.ERROR,
+                    hint="expected '# repro-lint: disable=RL00x[,RL00y] — reason'",
+                )
+            )
+            continue
+        rules = tuple(part.strip() for part in match.group("rules").split(","))
+        effective = line if line in code_lines else line + 1
+        suppressions.append(
+            Suppression(
+                rules=rules,
+                reason=match.group("reason").strip(),
+                comment_line=line,
+                effective_line=effective,
+            )
+        )
+    return suppressions, malformed
+
+
+def suppressed_rules(suppressions: Iterable[Suppression]) -> dict[int, set[str]]:
+    """Collapse suppressions into ``{effective_line: {rule, ...}}``."""
+    by_line: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.effective_line, set()).update(suppression.rules)
+    return by_line

@@ -18,7 +18,9 @@ writing Python:
 * ``repro top``        — poll a running server's ``GET /metrics`` and render
   request and per-shard load,
 * ``repro bench``      — run one of the repository's benchmark modules and
-  write its JSON artifact.
+  write its JSON artifact,
+* ``repro lint``       — run the repository's own static-analysis rules
+  (concurrency, purity and wire-protocol invariants) over a source tree.
 
 Every subcommand supports ``--json`` for machine-readable output where that is
 meaningful.  The module is import-safe: ``main`` takes an ``argv`` list and
@@ -255,6 +257,41 @@ def build_parser() -> argparse.ArgumentParser:
         "bench_args",
         nargs=argparse.REMAINDER,
         help="arguments forwarded to the benchmark module (e.g. --quick -o out.json)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repository's static-analysis rules (RL001..) over a source tree",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RLxxx",
+        help="run only this rule (repeatable; also enables advisory rules like RL009)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="report format (json is the schema CI consumes)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=".repro-lint-baseline.json",
+        help="baseline file of grandfathered findings (default: .repro-lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--baseline-update",
+        action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0",
     )
 
     report = subparsers.add_parser(
@@ -626,6 +663,59 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0 if code is None else int(code)
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import Baseline, run_lint
+    from repro.analysis.checkers import all_checkers
+
+    root = Path.cwd()
+    paths = [Path(path) for path in args.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        raise ReproError(f"no such path(s): {', '.join(missing)}")
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = Baseline.load(baseline_path)
+    except (ValueError, json.JSONDecodeError) as error:
+        raise ReproError(str(error)) from error
+    try:
+        report = run_lint(
+            paths,
+            root=root,
+            checkers=all_checkers(),
+            rules=args.rules,
+            baseline=baseline,
+        )
+    except ValueError as error:
+        raise ReproError(str(error)) from error
+
+    if args.baseline_update:
+        # Everything the run surfaced (new findings plus still-firing baseline
+        # entries, with their reasons preserved) becomes the new baseline.
+        survivors = report.findings + [finding for finding, _ in report.baselined]
+        updated = Baseline.updated_from(survivors, baseline)
+        updated.save(baseline_path)
+        print(
+            f"wrote {len(updated)} baseline entrie(s) to {baseline_path} "
+            f"({len(report.findings)} new — justify their reasons before committing)"
+        )
+        return 0
+
+    if args.output_format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    unjustified = baseline.unjustified()
+    for entry in unjustified:
+        print(
+            f"baseline entry without justification: {entry.rule} {entry.path}: "
+            f"{entry.message}",
+            file=sys.stderr,
+        )
+    return 1 if (report.failed or unjustified) else 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from repro.experiments import generate_report, write_report
 
@@ -651,6 +741,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _command_serve,
         "top": _command_top,
         "bench": _command_bench,
+        "lint": _command_lint,
         "report": _command_report,
     }
     try:

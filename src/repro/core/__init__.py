@@ -23,7 +23,6 @@ from repro.core.cost_model import (
     bottleneck_stage,
     prefix_products,
     stage_costs,
-    validate_order,
 )
 from repro.core.dynamic_programming import DynamicProgrammingOptimizer, dynamic_programming
 from repro.core.evaluation import NeighborhoodEvaluator, PlanEvaluator, PrefixState
@@ -113,5 +112,4 @@ __all__ = [
     "simulated_annealing",
     "srivastava",
     "stage_costs",
-    "validate_order",
 ]

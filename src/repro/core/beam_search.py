@@ -118,7 +118,7 @@ class BeamSearchOptimizer:
         self, batch, beam: list[PrefixState], final: bool, stats: SearchStatistics
     ) -> tuple[list[PrefixState], bool]:
         """One beam level on the vector kernel: batch-score, sort, survive."""
-        import numpy as np
+        import numpy as np  # repro-lint: disable=RL004 — vector-only path; resolve_kernel proved numpy importable
 
         parents, extensions, epsilons = batch.score_front(beam, final)
         total = len(parents)

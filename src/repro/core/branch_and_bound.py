@@ -286,7 +286,7 @@ class BranchAndBoundOptimizer:
         stable argsort over the (exactly scalar-equal) epsilons reproduces the
         scalar ``(ε, index)`` sort key.
         """
-        import numpy as np
+        import numpy as np  # repro-lint: disable=RL004 — vector-only path; resolve_kernel proved numpy importable
 
         final = partial.length + 1 == self._problem.size
         _, extensions, epsilons = self._batch.score_front([partial], final)
@@ -302,7 +302,7 @@ class BranchAndBoundOptimizer:
         computes.  A first service whose every successor is constrained out
         keeps its own ``ε`` as cost, mirroring the scalar fallback.
         """
-        import numpy as np
+        import numpy as np  # repro-lint: disable=RL004 — vector-only path; resolve_kernel proved numpy importable
 
         root = self._evaluator.root()
         starts = [root.extend(first) for first in candidates]

@@ -27,7 +27,7 @@ exact agreement, so a divergence fails loudly).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.exceptions import InvalidCostMatrixError, InvalidPlanError
 from repro.utils.validation import require_non_negative
@@ -39,7 +39,6 @@ __all__ = [
     "bottleneck_cost",
     "bottleneck_stage",
     "prefix_products",
-    "validate_order",
 ]
 
 
@@ -337,9 +336,3 @@ def _validate_order(order: Sequence[int], size: int) -> None:
             raise InvalidPlanError(f"service index {index} appears more than once in the plan")
         seen.add(index)
 
-
-def validate_order(order: Iterable[int], size: int) -> tuple[int, ...]:
-    """Validate ``order`` as a (possibly partial) plan over ``size`` services."""
-    order = tuple(order)
-    _validate_order(order, size)
-    return order

@@ -232,7 +232,7 @@ class DynamicProgrammingOptimizer:
     def _sweep_vector(
         self, evaluator, predecessor_masks, subset_product, stats
     ) -> tuple[list[int] | None, int, float]:
-        import numpy as np
+        import numpy as np  # repro-lint: disable=RL004 — vector-only path; resolve_kernel proved numpy importable
 
         batch = batch_evaluator(evaluator, self.fast_math)
         size = evaluator.size

@@ -131,7 +131,7 @@ class Counter(_Metric):
 
     def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
         super().__init__(name, help, labelnames)
-        self._series: dict[tuple[str, ...], float] = {}
+        self._series: dict[tuple[str, ...], float] = {}  # guarded-by: _lock
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         """Add ``amount`` (>= 0); ``inc(0)`` pre-touches a labelled series."""
@@ -171,7 +171,7 @@ class Gauge(_Metric):
 
     def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
         super().__init__(name, help, labelnames)
-        self._series: dict[tuple[str, ...], float] = {}
+        self._series: dict[tuple[str, ...], float] = {}  # guarded-by: _lock
 
     def set(self, value: float, **labels: object) -> None:
         key = self._key(labels)
@@ -222,7 +222,7 @@ class Histogram(_Metric):
             )
         self.buckets = boundaries
         # Per label key: ([per-bucket counts..., +Inf count], sum).
-        self._series: dict[tuple[str, ...], tuple[list[int], float]] = {}
+        self._series: dict[tuple[str, ...], tuple[list[int], float]] = {}  # guarded-by: _lock
 
     def observe(self, value: float, **labels: object) -> None:
         key = self._key(labels)
@@ -279,8 +279,8 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[str, _Metric] = {}
-        self._callbacks: list[Callable[[], None]] = []
+        self._metrics: dict[str, _Metric] = {}  # guarded-by: _lock
+        self._callbacks: list[Callable[[], None]] = []  # guarded-by: _lock
 
     # -- registration ------------------------------------------------------
 

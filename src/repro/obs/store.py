@@ -44,7 +44,7 @@ class SpanStore:
             raise ObservabilityError(f"capacity must be at least 1, got {capacity!r}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._traces: "OrderedDict[str, list[Span | Mapping[str, Any]]]" = OrderedDict()
+        self._traces: "OrderedDict[str, list[Span | Mapping[str, Any]]]" = OrderedDict()  # guarded-by: _lock
 
     def add(self, trace_id: str, spans: Iterable[Span | Mapping[str, Any]]) -> None:
         """Append ``spans`` to ``trace_id`` (created and marked recent).
@@ -133,7 +133,7 @@ class SlowLog:
             raise ObservabilityError(f"capacity must be at least 1, got {capacity!r}")
         self.threshold_seconds = threshold_seconds
         self._lock = threading.Lock()
-        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)  # guarded-by: _lock
 
     def record(self, span: Span | Mapping[str, Any]) -> bool:
         """Log ``span`` if it breaches the threshold; returns whether it did."""

@@ -105,6 +105,9 @@ class Span:
         self.span_id = span_id if span_id is not None else _new_span_id()
         self.parent_id = parent_id
         self.name = name
+        # Span starts leave the process on the trace wire format and must be
+        # comparable across machines; durations are measured separately.
+        # repro-lint: disable=RL002 — epoch timestamp by design (cross-process wire format)
         self.start = start if start is not None else time.time()
         self.duration = 0.0
         # Lazily materialised: most spans carry no annotations, and the dict

@@ -224,11 +224,11 @@ class OptimizerPool:
         # _state_lock guards the task-id counter, the pending registry and the
         # counters — never held across queue waits or optimization work.
         self._state_lock = threading.Lock()
-        self._next_task_id = 0
-        self._pending: dict[int, _PendingBatch] = {}
-        self._closed = False
-        self._tasks_submitted = 0
-        self._warm_hits = 0
+        self._next_task_id = 0  # guarded-by: _state_lock
+        self._pending: dict[int, _PendingBatch] = {}  # guarded-by: _state_lock
+        self._closed = False  # guarded-by: _state_lock
+        self._tasks_submitted = 0  # guarded-by: _state_lock
+        self._warm_hits = 0  # guarded-by: _state_lock
         self._collector_stop = threading.Event()
         self._collector = threading.Thread(
             target=self._collect, name="optimizer-pool-collector", daemon=True

@@ -171,7 +171,7 @@ class SingleFlight:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._calls: dict[str, _InFlightCall] = {}
+        self._calls: dict[str, _InFlightCall] = {}  # guarded-by: _lock
 
     def do(self, key: str, compute: Callable[[], object]) -> tuple[object, bool]:
         """Run ``compute`` once per concurrent burst of callers of ``key``.
@@ -244,7 +244,7 @@ class PlanCache:
     clock: Callable[[], float] = time.monotonic
     store: CacheStore | None = None
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
-    _stats: CacheStats = field(default_factory=CacheStats, repr=False)
+    _stats: CacheStats = field(default_factory=CacheStats, repr=False)  # guarded-by: _lock
 
     def __post_init__(self) -> None:
         if self.capacity < 1:

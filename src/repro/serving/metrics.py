@@ -111,12 +111,16 @@ class ServingMetrics:
             raise ServingError(f"reservoir_size must be at least 1, got {reservoir_size!r}")
         self._lock = threading.Lock()
         self._reservoir_size = reservoir_size
-        self._rng = random.Random(seed)
-        self._latencies: dict[str, list[float]] = {source: [] for source in self.SOURCES}
+        self._rng = random.Random(seed)  # guarded-by: _lock
+        self._latencies: dict[str, list[float]] = {  # guarded-by: _lock
+            source: [] for source in self.SOURCES
+        }
         # Cached sorted copy per reservoir; None marks it dirty.  Sorting
         # happens at most once per snapshot cycle, not once per snapshot call.
-        self._sorted: dict[str, list[float] | None] = {source: None for source in self.SOURCES}
-        self._cost_total = 0.0
+        self._sorted: dict[str, list[float] | None] = {  # guarded-by: _lock
+            source: None for source in self.SOURCES
+        }
+        self._cost_total = 0.0  # guarded-by: _lock
 
         self.registry = registry if registry is not None else MetricsRegistry()
         self._answered = self.registry.counter(
@@ -249,7 +253,7 @@ class ServingMetrics:
                 },
             }
 
-    def _sorted_reservoir(self, source: str) -> list[float]:
+    def _sorted_reservoir(self, source: str) -> list[float]:  # requires-lock: _lock
         """The cached sorted reservoir of ``source`` (rebuilt only when dirty).
 
         Callers must hold the lock; the returned list must not be mutated.

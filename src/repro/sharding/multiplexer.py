@@ -107,8 +107,8 @@ class ResponseMultiplexer:
         self._name = name
         self._poll_seconds = poll_seconds
         self._lock = threading.Lock()
-        self._ports: set[_Port] = set()
-        self._thread: threading.Thread | None = None
+        self._ports: set[_Port] = set()  # guarded-by: _lock
+        self._thread: threading.Thread | None = None  # guarded-by: _lock
         self._stopped = threading.Event()
         # Dispatch accounting (only the loop thread writes, so plain ints).
         self._dispatched = 0
@@ -181,7 +181,8 @@ class ResponseMultiplexer:
         default multiplexer lives as long as the process)."""
         self._stopped.set()
         self._wake()
-        thread = self._thread
+        with self._lock:
+            thread = self._thread
         if thread is not None:
             thread.join(timeout=2 * self._poll_seconds + 1.0)
 

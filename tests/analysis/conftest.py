@@ -1,0 +1,38 @@
+"""Shared fixture: lint in-memory source trees through the real engine."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, LintReport, run_lint
+from repro.analysis.checkers import all_checkers
+
+
+@pytest.fixture
+def lint(tmp_path: Path):
+    """Write ``{relative_path: source}`` files and lint them.
+
+    Returns the :class:`LintReport`; keyword arguments pass through to
+    :func:`run_lint` (``rules=['RL00x']`` narrows to one checker).
+    """
+
+    def _lint(
+        files: dict[str, str],
+        rules: list[str] | None = None,
+        baseline: Baseline | None = None,
+    ) -> LintReport:
+        for relative, source in files.items():
+            path = tmp_path / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return run_lint(
+            [tmp_path],
+            root=tmp_path,
+            checkers=all_checkers(),
+            rules=rules,
+            baseline=baseline,
+        )
+
+    return _lint

@@ -1,0 +1,80 @@
+"""Baseline round-trips: grandfathering by identity, reasons preserved."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding, UNREVIEWED_REASON
+
+
+def finding(rule="RL002", path="pkg/mod.py", line=10, message="wall clock"):
+    return Finding(rule=rule, path=path, line=line, message=message)
+
+
+class TestMatching:
+    def test_matches_ignore_line_numbers(self):
+        baseline = Baseline(
+            [BaselineEntry(rule="RL002", path="pkg/mod.py", message="wall clock", reason="ok")]
+        )
+        assert baseline.match(finding(line=10)) is not None
+        assert baseline.match(finding(line=999)) is not None
+
+    def test_different_message_is_new(self):
+        baseline = Baseline(
+            [BaselineEntry(rule="RL002", path="pkg/mod.py", message="wall clock", reason="ok")]
+        )
+        assert baseline.match(finding(message="other")) is None
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = Baseline(
+            [
+                BaselineEntry(rule="RL002", path="b.py", message="m2", reason="r2"),
+                BaselineEntry(rule="RL001", path="a.py", message="m1", reason="r1"),
+            ]
+        )
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert sorted(entry.key for entry in loaded.entries) == sorted(
+            entry.key for entry in original.entries
+        )
+        assert {entry.reason for entry in loaded.entries} == {"r1", "r2"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestUpdatedFrom:
+    def test_new_entries_get_placeholder_reason(self):
+        updated = Baseline.updated_from([finding()], Baseline())
+        assert [entry.reason for entry in updated.entries] == [UNREVIEWED_REASON]
+        assert updated.unjustified() == updated.entries
+
+    def test_persisting_entries_keep_their_reason(self):
+        previous = Baseline(
+            [BaselineEntry(rule="RL002", path="pkg/mod.py", message="wall clock", reason="justified")]
+        )
+        updated = Baseline.updated_from([finding()], previous)
+        assert updated.entries[0].reason == "justified"
+        assert updated.unjustified() == []
+
+    def test_stale_entries_are_dropped(self):
+        previous = Baseline(
+            [BaselineEntry(rule="RL009", path="gone.py", message="dead", reason="r")]
+        )
+        updated = Baseline.updated_from([finding()], previous)
+        assert [entry.rule for entry in updated.entries] == ["RL002"]
+
+    def test_duplicate_findings_collapse_to_one_entry(self):
+        updated = Baseline.updated_from([finding(line=1), finding(line=2)], Baseline())
+        assert len(updated) == 1

@@ -1,0 +1,403 @@
+"""Per-rule fixtures: one true positive and one true negative for RL001–RL009."""
+
+from __future__ import annotations
+
+
+def rules_found(report):
+    return [finding.rule for finding in report.findings]
+
+
+class TestRL001AsyncBlocking:
+    def test_blocking_sleep_in_async_def_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import time\n\n"
+                    "async def poll():\n"
+                    "    time.sleep(0.1)\n"
+                )
+            },
+            rules=["RL001"],
+        )
+        assert rules_found(report) == ["RL001"]
+
+    def test_future_result_in_async_def_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "async def wait(future):\n"
+                    "    return future.result()\n"
+                )
+            },
+            rules=["RL001"],
+        )
+        assert rules_found(report) == ["RL001"]
+
+    def test_sync_def_and_awaited_calls_are_clean(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import asyncio\n"
+                    "import time\n\n"
+                    "def pause():\n"
+                    "    time.sleep(0.1)\n\n"
+                    "async def pause_async():\n"
+                    "    await asyncio.sleep(0.1)\n"
+                )
+            },
+            rules=["RL001"],
+        )
+        assert report.findings == []
+
+    def test_nested_sync_def_inside_async_is_clean(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import time\n\n"
+                    "async def outer(loop):\n"
+                    "    def blocking():\n"
+                    "        time.sleep(0.1)\n"
+                    "    await loop.run_in_executor(None, blocking)\n"
+                )
+            },
+            rules=["RL001"],
+        )
+        assert report.findings == []
+
+
+class TestRL002MonotonicTime:
+    def test_wall_clock_deadline_is_flagged(self, lint):
+        report = lint(
+            {"mod.py": "import time\n\ndeadline = time.time() + 5\n"},
+            rules=["RL002"],
+        )
+        assert rules_found(report) == ["RL002"]
+
+    def test_from_import_alias_is_resolved(self, lint):
+        report = lint(
+            {"mod.py": "from time import time as now\n\nstamp = now()\n"},
+            rules=["RL002"],
+        )
+        assert rules_found(report) == ["RL002"]
+
+    def test_monotonic_clock_is_clean(self, lint):
+        report = lint(
+            {"mod.py": "import time\n\nstart = time.monotonic()\nns = time.perf_counter()\n"},
+            rules=["RL002"],
+        )
+        assert report.findings == []
+
+
+class TestRL003LockDiscipline:
+    def test_unguarded_access_to_annotated_attribute_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import threading\n\n"
+                    "class Box:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._items = []  # guarded-by: _lock\n\n"
+                    "    def add(self, item):\n"
+                    "        self._items.append(item)\n"
+                )
+            },
+            rules=["RL003"],
+        )
+        assert rules_found(report) == ["RL003"]
+        assert "_items" in report.findings[0].message
+
+    def test_access_under_the_lock_is_clean(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import threading\n\n"
+                    "class Box:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._items = []  # guarded-by: _lock\n\n"
+                    "    def add(self, item):\n"
+                    "        with self._lock:\n"
+                    "            self._items.append(item)\n"
+                )
+            },
+            rules=["RL003"],
+        )
+        assert report.findings == []
+
+    def test_requires_lock_method_is_trusted(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import threading\n\n"
+                    "class Box:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._items = []  # guarded-by: _lock\n\n"
+                    "    def _drain(self):  # requires-lock: _lock\n"
+                    "        return list(self._items)\n"
+                )
+            },
+            rules=["RL003"],
+        )
+        assert report.findings == []
+
+    def test_malformed_guarded_by_annotation_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "class Box:\n"
+                    "    def __init__(self):\n"
+                    "        self._items = []  # guarded-by: 9bad-name\n"
+                )
+            },
+            rules=["RL003"],
+        )
+        assert rules_found(report) == ["RL003"]
+
+
+class TestRL004ImportHygiene:
+    def test_unguarded_numpy_import_is_flagged(self, lint):
+        report = lint({"mod.py": "import numpy as np\n"}, rules=["RL004"])
+        assert rules_found(report) == ["RL004"]
+
+    def test_guarded_numpy_import_is_clean(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "try:\n"
+                    "    import numpy as np\n"
+                    "except ImportError:\n"
+                    "    np = None\n"
+                )
+            },
+            rules=["RL004"],
+        )
+        assert report.findings == []
+
+
+class TestRL005ForkSafety:
+    def test_import_time_thread_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import threading\n\n"
+                    "def tick():\n"
+                    "    pass\n\n"
+                    "worker = threading.Thread(target=tick)\n"
+                )
+            },
+            rules=["RL005"],
+        )
+        assert rules_found(report) == ["RL005"]
+
+    def test_bare_multiprocessing_queue_is_flagged_anywhere(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import multiprocessing\n\n"
+                    "def build():\n"
+                    "    return multiprocessing.Queue()\n"
+                )
+            },
+            rules=["RL005"],
+        )
+        assert rules_found(report) == ["RL005"]
+
+    def test_thread_inside_a_function_and_context_queue_are_clean(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import multiprocessing\n"
+                    "import threading\n\n"
+                    "def start(tick):\n"
+                    "    worker = threading.Thread(target=tick)\n"
+                    "    worker.start()\n"
+                    "    ctx = multiprocessing.get_context('spawn')\n"
+                    "    return ctx.Queue()\n"
+                )
+            },
+            rules=["RL005"],
+        )
+        assert report.findings == []
+
+
+class TestRL006WireParity:
+    def test_emitted_key_never_read_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "def plan_to_wire(plan):\n"
+                    "    return {'order': plan.order, 'cost': plan.cost}\n\n"
+                    "def plan_from_wire(doc):\n"
+                    "    return dict(order=doc['order'])\n"
+                )
+            },
+            rules=["RL006"],
+        )
+        assert rules_found(report) == ["RL006"]
+        assert "cost" in report.findings[0].message
+
+    def test_required_key_never_emitted_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "def plan_to_wire(plan):\n"
+                    "    return {'order': plan.order}\n\n"
+                    "def plan_from_wire(doc):\n"
+                    "    return dict(order=doc['order'], cost=doc['cost'])\n"
+                )
+            },
+            rules=["RL006"],
+        )
+        assert rules_found(report) == ["RL006"]
+        assert "cost" in report.findings[0].message
+
+    def test_matching_codec_with_optional_key_is_clean(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "def plan_to_wire(plan):\n"
+                    "    return {'order': plan.order, 'cost': plan.cost}\n\n"
+                    "def plan_from_wire(doc):\n"
+                    "    return dict(order=doc['order'], cost=doc.get('cost', 0.0))\n"
+                )
+            },
+            rules=["RL006"],
+        )
+        assert report.findings == []
+
+
+class TestRL007SeededRandomness:
+    def test_module_level_random_in_core_is_flagged(self, lint):
+        report = lint(
+            {
+                "core/sampler.py": (
+                    "import random\n\n"
+                    "def jitter():\n"
+                    "    return random.random()\n"
+                )
+            },
+            rules=["RL007"],
+        )
+        assert rules_found(report) == ["RL007"]
+
+    def test_seeded_generator_in_core_is_clean(self, lint):
+        report = lint(
+            {
+                "core/sampler.py": (
+                    "import random\n\n"
+                    "def jitter(seed):\n"
+                    "    rng = random.Random(seed)\n"
+                    "    return rng.random()\n"
+                )
+            },
+            rules=["RL007"],
+        )
+        assert report.findings == []
+
+    def test_global_random_outside_scoped_dirs_is_clean(self, lint):
+        report = lint(
+            {
+                "benchmarks/noise.py": (
+                    "import random\n\n"
+                    "def jitter():\n"
+                    "    return random.random()\n"
+                )
+            },
+            rules=["RL007"],
+        )
+        assert report.findings == []
+
+
+class TestRL008SpanHygiene:
+    def test_span_call_outside_with_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "from repro.obs.trace import trace_span\n\n"
+                    "def work():\n"
+                    "    trace_span('step')\n"
+                )
+            },
+            rules=["RL008"],
+        )
+        assert rules_found(report) == ["RL008"]
+
+    def test_discarded_capture_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "from repro.obs.trace import capture\n\n"
+                    "def work():\n"
+                    "    capture()\n"
+                )
+            },
+            rules=["RL008"],
+        )
+        assert rules_found(report) == ["RL008"]
+
+    def test_submitted_closure_without_context_handoff_is_flagged(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "from repro.obs.trace import trace_span\n\n"
+                    "def work(pool):\n"
+                    "    def job():\n"
+                    "        with trace_span('inner'):\n"
+                    "            pass\n"
+                    "    pool.submit(job)\n"
+                )
+            },
+            rules=["RL008"],
+        )
+        assert rules_found(report) == ["RL008"]
+
+    def test_context_handoff_and_with_usage_are_clean(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "from repro.obs.trace import capture, trace_span\n\n"
+                    "def work(pool):\n"
+                    "    ctx = capture()\n\n"
+                    "    def job():\n"
+                    "        with trace_span('inner', context=ctx):\n"
+                    "            pass\n"
+                    "    pool.submit(job)\n"
+                    "    with trace_span('outer'):\n"
+                    "        pass\n"
+                )
+            },
+            rules=["RL008"],
+        )
+        assert report.findings == []
+
+
+class TestRL009DeadSymbols:
+    def test_unreferenced_public_helper_is_reported(self, lint):
+        report = lint(
+            {
+                "lib.py": "def orphan():\n    return 1\n",
+                "app.py": "print('hello')\n",
+            },
+            rules=["RL009"],
+        )
+        assert rules_found(report) == ["RL009"]
+        assert "orphan" in report.findings[0].message
+
+    def test_referenced_private_and_entry_point_symbols_are_clean(self, lint):
+        report = lint(
+            {
+                "lib.py": (
+                    "def used():\n"
+                    "    return 1\n\n"
+                    "def _private():\n"
+                    "    return 2\n\n"
+                    "def main():\n"
+                    "    return used()\n"
+                ),
+                "app.py": "from lib import used\n\nvalue = used()\n",
+            },
+            rules=["RL009"],
+        )
+        assert report.findings == []

@@ -1,0 +1,109 @@
+"""The ``repro lint`` subcommand: exit codes, formats, baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import UNREVIEWED_REASON, Baseline
+from repro.cli import main
+
+CLEAN = "import time\n\nstart = time.monotonic()\n"
+DIRTY = "import time\n\ndeadline = time.time() + 5\n"
+
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    """A throwaway project directory the CLI runs in (baseline lives in cwd)."""
+    monkeypatch.chdir(tmp_path)
+    src = tmp_path / "src"
+    src.mkdir()
+    return tmp_path
+
+
+def write(project, source):
+    (project / "src" / "mod.py").write_text(source, encoding="utf-8")
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, project, capsys):
+        write(project, CLEAN)
+        assert main(["lint", "src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, project, capsys):
+        write(project, DIRTY)
+        assert main(["lint", "src"]) == 1
+        assert "RL002" in capsys.readouterr().out
+
+    def test_missing_path_is_a_clean_error(self, project, capsys):
+        assert main(["lint", "no-such-dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_is_a_clean_error(self, project, capsys):
+        write(project, CLEAN)
+        assert main(["lint", "src", "--rule", "RL999"]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_corrupt_baseline_is_a_clean_error(self, project, capsys):
+        write(project, CLEAN)
+        (project / ".repro-lint-baseline.json").write_text("{not json")
+        assert main(["lint", "src"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRuleSelection:
+    def test_rule_flag_narrows_the_run(self, project, capsys):
+        write(project, DIRTY)
+        assert main(["lint", "src", "--rule", "RL001"]) == 0
+        out = capsys.readouterr().out
+        assert "rules: RL001" in out and "RL002" not in out
+
+
+class TestJsonOutput:
+    def test_json_is_parseable_and_keyed(self, project, capsys):
+        write(project, DIRTY)
+        assert main(["lint", "src", "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["failed"] is True
+        assert document["findings"][0]["rule"] == "RL002"
+
+
+class TestBaselineWorkflow:
+    def test_update_then_justify_then_clean_run(self, project, capsys):
+        write(project, DIRTY)
+        baseline_path = project / ".repro-lint-baseline.json"
+
+        # 1. Grandfather the finding; the update itself exits 0.
+        assert main(["lint", "src", "--baseline-update"]) == 0
+        assert "justify" in capsys.readouterr().out
+        baseline = Baseline.load(baseline_path)
+        assert [entry.reason for entry in baseline.entries] == [UNREVIEWED_REASON]
+
+        # 2. An unreviewed reason still fails the next run.
+        assert main(["lint", "src"]) == 1
+        assert "without justification" in capsys.readouterr().err
+
+        # 3. Justifying the entry makes the run clean without touching code.
+        document = json.loads(baseline_path.read_text())
+        document["entries"][0]["reason"] = "legacy deadline, migration tracked"
+        baseline_path.write_text(json.dumps(document))
+        assert main(["lint", "src"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # 4. Fixing the code and re-updating drops the stale entry.
+        write(project, CLEAN)
+        assert main(["lint", "src", "--baseline-update"]) == 0
+        assert len(Baseline.load(baseline_path)) == 0
+
+    def test_baseline_does_not_hide_new_findings(self, project, capsys):
+        write(project, DIRTY)
+        assert main(["lint", "src", "--baseline-update"]) == 0
+        capsys.readouterr()
+        write(
+            project,
+            DIRTY + "\nasync def poll():\n    import time as t\n    t.sleep(1)\n",
+        )
+        assert main(["lint", "src"]) == 1
+        assert "RL001" in capsys.readouterr().out

@@ -1,0 +1,193 @@
+"""Engine semantics: suppression scope, LINT000, severity policy, JSON schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, run_lint
+from repro.analysis.checkers import all_checkers
+
+WALL_CLOCK = "import time\n\ndef now():\n    return time.time()\n"
+
+
+class TestSuppressionScope:
+    def test_trailing_directive_silences_the_named_rule(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import time\n\n"
+                    "def now():\n"
+                    "    return time.time()  # repro-lint: disable=RL002 — epoch by design\n"
+                )
+            },
+            rules=["RL002"],
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+        assert not report.failed
+
+    def test_directive_on_its_own_line_covers_the_next(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import time\n\n"
+                    "def now():\n"
+                    "    # repro-lint: disable=RL002 — epoch by design\n"
+                    "    return time.time()\n"
+                )
+            },
+            rules=["RL002"],
+        )
+        assert report.findings == [] and report.suppressed == 1
+
+    def test_directive_for_another_rule_does_not_silence(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import time\n\n"
+                    "def now():\n"
+                    "    return time.time()  # repro-lint: disable=RL001 — wrong rule\n"
+                )
+            },
+            rules=["RL002"],
+        )
+        assert [finding.rule for finding in report.findings] == ["RL002"]
+        assert report.failed
+
+    def test_directive_does_not_leak_to_other_lines(self, lint):
+        report = lint(
+            {
+                "mod.py": (
+                    "import time\n\n"
+                    "def now():\n"
+                    "    first = time.time()  # repro-lint: disable=RL002 — ok here\n"
+                    "    return time.time()\n"
+                )
+            },
+            rules=["RL002"],
+        )
+        assert len(report.findings) == 1 and report.findings[0].line == 5
+
+
+class TestEngineFindings:
+    def test_malformed_directive_is_reported(self, lint):
+        report = lint({"mod.py": "x = 1  # repro-lint: disable=RL002\n"})
+        assert [finding.rule for finding in report.findings] == ["LINT000"]
+        assert report.failed
+
+    def test_unknown_rule_in_directive_is_reported(self, lint):
+        report = lint({"mod.py": "x = 1  # repro-lint: disable=RL999 — no such rule\n"})
+        assert any(
+            finding.rule == "LINT000" and "RL999" in finding.message
+            for finding in report.findings
+        )
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, lint):
+        report = lint({"broken.py": "def oops(:\n"})
+        assert [finding.rule for finding in report.findings] == ["LINT000"]
+        assert "broken.py" in report.findings[0].path
+
+    def test_engine_findings_cannot_be_suppressed(self, lint):
+        # The malformed directive *is itself* the comment on this line; a
+        # second, well-formed directive naming LINT000 must not silence it.
+        report = lint(
+            {
+                "mod.py": (
+                    "# repro-lint: disable=LINT000 — trying to hide\n"
+                    "x = 1  # repro-lint: disable=RL002\n"
+                )
+            }
+        )
+        assert any(finding.rule == "LINT000" for finding in report.findings)
+
+
+class TestRuleSelection:
+    def test_unknown_rule_id_raises(self, lint):
+        with pytest.raises(ValueError):
+            lint({"mod.py": "x = 1\n"}, rules=["RL999"])
+
+    def test_default_run_excludes_off_by_default_rules(self, lint):
+        report = lint({"mod.py": "def orphan():\n    return 1\n"})
+        assert "RL009" not in report.rules_run
+        assert report.findings == []
+
+    def test_explicit_selection_runs_only_named_rules(self, lint):
+        report = lint({"mod.py": WALL_CLOCK}, rules=["RL001"])
+        assert report.rules_run == ["RL001"]
+        assert report.findings == []  # the RL002 violation is not scanned
+
+
+class TestSeverityPolicy:
+    def test_info_findings_never_fail_the_run(self, lint):
+        report = lint(
+            {"mod.py": "def orphan():\n    return 1\n"},
+            rules=["RL009"],
+        )
+        assert [finding.rule for finding in report.findings] == ["RL009"]
+        assert not report.failed
+
+    def test_warning_findings_fail_the_run(self, lint):
+        report = lint({"mod.py": WALL_CLOCK}, rules=["RL002"])
+        assert report.failed
+
+
+class TestBaselineIntegration:
+    def test_baselined_findings_do_not_fail(self, lint):
+        first = lint({"mod.py": WALL_CLOCK}, rules=["RL002"])
+        (finding,) = first.findings
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    reason="legacy wall clock, tracked in ROADMAP",
+                )
+            ]
+        )
+        second = lint({"mod.py": WALL_CLOCK}, rules=["RL002"], baseline=baseline)
+        assert second.findings == []
+        assert len(second.baselined) == 1
+        assert not second.failed
+
+    def test_new_findings_still_fail_alongside_a_baseline(self, lint):
+        baseline = Baseline(
+            [BaselineEntry(rule="RL002", path="other.py", message="x", reason="r")]
+        )
+        report = lint({"mod.py": WALL_CLOCK}, rules=["RL002"], baseline=baseline)
+        assert report.failed and report.baselined == []
+
+
+class TestJsonSchema:
+    def test_json_document_shape(self, lint):
+        report = lint({"mod.py": WALL_CLOCK}, rules=["RL002"])
+        document = json.loads(report.render_json())
+        assert document["version"] == 1
+        assert document["files"] == 1
+        assert document["rules"] == ["RL002"]
+        assert document["summary"]["failed"] is True
+        assert document["summary"]["by_rule"] == {"RL002": 1}
+        (finding,) = document["findings"]
+        assert set(finding) >= {"rule", "path", "line", "message", "severity"}
+        assert finding["rule"] == "RL002"
+        assert finding["path"] == "mod.py"
+
+    def test_text_summary_line(self, lint):
+        report = lint({"mod.py": "x = 1\n"})
+        text = report.render_text()
+        assert "0 finding(s)" in text and "1 file(s)" in text
+
+
+def test_every_registered_checker_satisfies_the_protocol():
+    for checker in all_checkers():
+        assert checker.rule.startswith("RL")
+        assert checker.name and checker.description
+        assert hasattr(checker, "severity") and hasattr(checker, "default")
+        assert callable(checker.check)
+
+
+def test_registered_rule_ids_are_unique():
+    rules = [checker.rule for checker in all_checkers()]
+    assert len(rules) == len(set(rules))

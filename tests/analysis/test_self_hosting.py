@@ -1,0 +1,58 @@
+"""Meta-test: the repository's own source passes its own lint.
+
+This is the PR-gate in test form — if a change introduces a finding, the
+author must fix it, suppress it inline with a reason, or baseline it with a
+justification; merging the finding silently is not an option.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Baseline, run_lint
+from repro.analysis.checkers import all_checkers
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / ".repro-lint-baseline.json"
+
+
+def repo_report():
+    return run_lint(
+        [REPO_ROOT / "src"],
+        root=REPO_ROOT,
+        checkers=all_checkers(),
+        baseline=Baseline.load(BASELINE_PATH),
+    )
+
+
+def test_src_has_no_non_baselined_findings():
+    report = repo_report()
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert not report.failed, f"repro lint found new violations:\n{rendered}"
+
+
+def test_committed_baseline_entries_are_justified():
+    baseline = Baseline.load(BASELINE_PATH)
+    unjustified = [entry.key for entry in baseline.unjustified()]
+    assert unjustified == [], f"baseline entries need real reasons: {unjustified}"
+
+
+def test_analysis_package_lints_itself_clean():
+    report = run_lint(
+        [REPO_ROOT / "src" / "repro" / "analysis"],
+        root=REPO_ROOT,
+        checkers=all_checkers(),
+    )
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.findings == [], f"the linter fails its own lint:\n{rendered}"
+
+
+def test_tests_tree_has_no_wall_clock_deadlines():
+    report = run_lint(
+        [REPO_ROOT / "tests"],
+        root=REPO_ROOT,
+        checkers=all_checkers(),
+        rules=["RL002"],
+    )
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.findings == [], f"wall-clock deadlines in tests:\n{rendered}"

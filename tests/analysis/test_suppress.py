@@ -1,0 +1,86 @@
+"""Suppression directives: grammar, effective lines, malformed-is-a-finding."""
+
+from __future__ import annotations
+
+from repro.analysis.suppress import parse_directives, suppressed_rules
+
+
+def parse(comments, code_lines=frozenset()):
+    return parse_directives(comments, frozenset(code_lines), "pkg/mod.py")
+
+
+class TestDirectiveGrammar:
+    def test_em_dash_separator(self):
+        suppressions, malformed = parse({3: " repro-lint: disable=RL002 — wall clock by design"})
+        assert malformed == []
+        (suppression,) = suppressions
+        assert suppression.rules == ("RL002",)
+        assert suppression.reason == "wall clock by design"
+
+    def test_double_dash_and_colon_separators(self):
+        for text in (
+            " repro-lint: disable=RL001 -- bridged via executor",
+            " repro-lint: disable=RL001 : bridged via executor",
+        ):
+            suppressions, malformed = parse({1: text})
+            assert malformed == []
+            assert suppressions[0].reason == "bridged via executor"
+
+    def test_multiple_rules(self):
+        (suppression,), malformed = parse(
+            {7: " repro-lint: disable=RL001,RL008 — span rides the bridge"}
+        )
+        assert malformed == []
+        assert suppression.rules == ("RL001", "RL008")
+
+    def test_unrelated_comments_are_ignored(self):
+        suppressions, malformed = parse({1: " just a note", 2: " guarded-by: _lock"})
+        assert suppressions == [] and malformed == []
+
+
+class TestMalformedDirectives:
+    """A typo'd suppression must be a finding, never a silent no-op."""
+
+    def test_missing_reason_is_a_finding(self):
+        suppressions, malformed = parse({5: " repro-lint: disable=RL002"})
+        assert suppressions == []
+        (finding,) = malformed
+        assert finding.rule == "LINT000"
+        assert finding.line == 5
+        assert "malformed" in finding.message
+
+    def test_missing_rule_list_is_a_finding(self):
+        suppressions, malformed = parse({2: " repro-lint: disable= — because"})
+        assert suppressions == [] and len(malformed) == 1
+
+    def test_wrong_verb_is_a_finding(self):
+        suppressions, malformed = parse({2: " repro-lint: ignore=RL002 — because"})
+        assert suppressions == [] and len(malformed) == 1
+
+    def test_lowercase_rule_id_is_a_finding(self):
+        suppressions, malformed = parse({2: " repro-lint: disable=rl002 — because"})
+        assert suppressions == [] and len(malformed) == 1
+
+
+class TestEffectiveLines:
+    def test_trailing_directive_covers_its_own_line(self):
+        (suppression,), _ = parse(
+            {4: " repro-lint: disable=RL002 — why"}, code_lines={4}
+        )
+        assert suppression.effective_line == 4
+
+    def test_own_line_directive_covers_the_next_line(self):
+        (suppression,), _ = parse(
+            {4: " repro-lint: disable=RL002 — why"}, code_lines={5}
+        )
+        assert suppression.effective_line == 5
+
+    def test_suppressed_rules_collapses_by_line(self):
+        suppressions, _ = parse(
+            {
+                1: " repro-lint: disable=RL001 — a",
+                3: " repro-lint: disable=RL002,RL004 — b",
+            },
+            code_lines={1},
+        )
+        assert suppressed_rules(suppressions) == {1: {"RL001"}, 4: {"RL002", "RL004"}}

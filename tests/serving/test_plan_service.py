@@ -132,8 +132,8 @@ class TestStaleWhileRevalidate:
             stale = plan_service.submit(four_service_problem)
             assert stale.cache_hit and stale.stale
             # The background refresh re-inserts a fresh entry.
-            deadline = time.time() + 5.0
-            while time.time() < deadline:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
                 response = plan_service.submit(four_service_problem)
                 if response.cache_hit and not response.stale:
                     break

@@ -23,8 +23,8 @@ from repro.serving import (
 
 
 def wait_for(predicate, timeout: float = 10.0) -> bool:
-    deadline = time.time() + timeout
-    while time.time() < deadline:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
         if predicate():
             return True
         time.sleep(0.01)

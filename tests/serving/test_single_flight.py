@@ -50,9 +50,9 @@ class TestSingleFlightPrimitive:
         followers = [threading.Thread(target=caller) for _ in range(3)]
         for thread in followers:
             thread.start()
-        limit = time.time() + 5.0
+        limit = time.monotonic() + 5.0
         while flight.waiting("k") < 3:  # all followers inside the flight
-            assert time.time() < limit, "followers never joined the flight"
+            assert time.monotonic() < limit, "followers never joined the flight"
             time.sleep(0.001)
         release.set()
         leader.join(timeout=5.0)
@@ -118,8 +118,8 @@ class TestStampede:
                 # Hold the leader inside the optimization until the whole herd
                 # has piled onto the flight (bounded, in case of a regression
                 # where followers optimize instead of waiting).
-                limit = time.time() + 5.0
-                while service._single_flight.waiting(key) < herd - 1 and time.time() < limit:
+                limit = time.monotonic() + 5.0
+                while service._single_flight.waiting(key) < herd - 1 and time.monotonic() < limit:
                     time.sleep(0.001)
                 return original(problem, budget_seconds=budget_seconds)
 
@@ -191,10 +191,10 @@ class TestShardedStampede:
                     # Hold the leader until the rest of the herd has piled
                     # onto the owning shard's flight (bounded, in case of a
                     # regression where followers optimize instead of waiting).
-                    limit = time.time() + 5.0
+                    limit = time.monotonic() + 5.0
                     while (
                         owner_service._single_flight.waiting(key) < herd - 1
-                        and time.time() < limit
+                        and time.monotonic() < limit
                     ):
                         time.sleep(0.001)
                     return _original(problem, budget_seconds=budget_seconds)
